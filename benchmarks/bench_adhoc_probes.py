@@ -1,0 +1,31 @@
+"""EXP-12: Ad-hoc probe amortization (Section 4.5.2 / Section 1.3).
+
+Issues many leader probes against a quiescent Ad-hoc network; path
+compression on the replies must amortize the cost to
+``O((m + n) alpha(m, n))`` total for ``m`` probes.
+
+Shape criteria:
+* average messages per probe is a small constant (compressed chains answer
+  in 2 messages: one hop up, one reply);
+* (probes + discovery) / ((m + n) alpha(m, n)) bounded by a constant.
+"""
+
+from repro.analysis.experiments import exp_adhoc_probes
+
+
+def test_adhoc_probes(benchmark, record_table):
+    headers, rows = benchmark.pedantic(
+        lambda: exp_adhoc_probes(n=512, probes=2048, seed=6), rounds=1, iterations=1
+    )
+    record_table(
+        "EXP-12-adhoc-probes",
+        headers,
+        rows,
+        notes=(
+            "Criterion: per-probe cost ~2 messages after compression; "
+            "total within a constant of (m+n) alpha(m,n)."
+        ),
+    )
+    values = {row[0]: row[1] for row in rows}
+    assert values["per probe"] <= 4.0
+    assert values["probe+discovery / bound"] <= 8.0

@@ -1,0 +1,32 @@
+"""EXP-5: bit complexity (Theorem 7, O(|E0| log n + n log^2 n)).
+
+Shape criterion: ``total bits / (|E0| log n + n log^2 n)`` stays below a
+small constant on sparse, dense and layered families, and does not grow
+with ``n``.
+"""
+
+from repro.analysis.experiments import exp_bit_complexity
+
+NS = (64, 128, 256, 512)
+FAMILIES = ("sparse-random", "dense-random", "layered")
+
+
+def test_bit_complexity(benchmark, record_table):
+    headers, rows = benchmark.pedantic(
+        lambda: exp_bit_complexity(ns=NS, families=FAMILIES, seed=3),
+        rounds=1,
+        iterations=1,
+    )
+    record_table(
+        "EXP-5-bit-complexity",
+        headers,
+        rows,
+        notes=(
+            "Criterion: bits / (|E0| log n + n log^2 n) bounded by a small "
+            "constant and non-increasing (Theorem 7)."
+        ),
+    )
+    for family in FAMILIES:
+        ratios = [row[4] for row in rows if row[0] == family]
+        assert max(ratios) <= 8.0, (family, ratios)
+        assert ratios[-1] <= ratios[0] * 1.2, (family, ratios)

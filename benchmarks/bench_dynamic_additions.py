@@ -1,0 +1,40 @@
+"""EXP-10: Theorem 8 -- dynamic node and link additions.
+
+Adds nodes and links one at a time to a quiescent Ad-hoc network and
+measures the marginal message cost, compared against rerunning the whole
+algorithm on the final graph.
+
+Shape criteria:
+* marginal cost per join / per link is a small constant (near-constant
+  amortized, Theorem 8);
+* the total incremental cost of the additions is well below a full rerun
+  (the paper's open-question answer: "no need to re-run the algorithm each
+  time a new component is added").
+"""
+
+from repro.analysis.experiments import exp_dynamic_additions
+
+
+def test_dynamic_additions(benchmark, record_table):
+    headers, rows = benchmark.pedantic(
+        lambda: exp_dynamic_additions(n_initial=256, n_new=128, links_new=128, seed=4),
+        rounds=1,
+        iterations=1,
+    )
+    record_table(
+        "EXP-10-dynamic-additions",
+        headers,
+        rows,
+        notes=(
+            "Criterion: per-join and per-link marginal messages are small "
+            "constants; marginal << rerun (Theorem 8)."
+        ),
+    )
+    values = {row[0]: row[1] for row in rows}
+    assert values["per node join"] <= 40
+    assert values["per link add"] <= 40
+    marginal = (
+        values["marginal messages for 128 node joins"]
+        + values["marginal messages for 128 link adds"]
+    )
+    assert marginal < values["from-scratch rerun on final graph"]

@@ -1,0 +1,43 @@
+"""EXP-3: Generic algorithm message scaling (Theorem 5, O(n log n)).
+
+Shape criterion: across every graph family, ``messages / (n log2 n)`` is
+bounded and non-increasing as ``n`` grows (an ``n log n`` envelope), while
+``messages / n`` keeps growing slowly -- i.e. the curve sits strictly
+between linear and ``n log n``.
+"""
+
+import math
+
+from repro.analysis.experiments import exp_generic_scaling
+from repro.analysis.fitting import best_model
+
+NS = (64, 128, 256, 512, 1024)
+FAMILIES = ("star", "sparse-random", "dense-random", "tree", "grid", "community", "preferential")
+
+
+def test_generic_message_scaling(benchmark, record_table):
+    headers, rows = benchmark.pedantic(
+        lambda: exp_generic_scaling(ns=NS, families=FAMILIES, seed=1),
+        rounds=1,
+        iterations=1,
+    )
+    record_table(
+        "EXP-3-generic-messages",
+        headers,
+        rows,
+        notes=(
+            "Criterion: msgs/(n log n) bounded and non-increasing per family "
+            "(Theorem 5)."
+        ),
+    )
+    for family in FAMILIES:
+        ratios = [row[4] for row in rows if row[0] == family]
+        assert max(ratios) < 4.0, (family, ratios)
+        # Non-increasing trend: the last point must not exceed the first.
+        assert ratios[-1] <= ratios[0] * 1.15, (family, ratios)
+
+    # Model fit: n log n (or better) must explain the dense family; a
+    # quadratic shape would indicate a broken algorithm.
+    dense = [(row[1], row[3]) for row in rows if row[0] == "dense-random"]
+    fit = best_model([n for n, _ in dense], [y for _, y in dense])
+    assert fit.model.name in ("n", "n alpha(n,n)", "n log n"), str(fit)

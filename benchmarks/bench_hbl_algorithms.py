@@ -1,0 +1,39 @@
+"""EXP-17: the four algorithms of Harchol-Balter, Leighton, Lewin [2].
+
+Reproduces [2]'s internal comparison on strongly connected random graphs
+(the only setting where all four converge).
+
+Shape criteria:
+* swamping converges in the fewest rounds but is the most message-heavy
+  gossip;
+* name-dropper needs the fewest messages among [2]'s algorithms;
+* pointer-jump sits between them (2 messages per node-round) and, per
+  [2]'s observation, diverges on non-strongly-connected graphs (pinned in
+  the tests, not here).
+"""
+
+from repro.analysis.experiments import exp_hbl_algorithms
+
+
+def test_hbl_algorithms(benchmark, record_table):
+    headers, rows = benchmark.pedantic(
+        lambda: exp_hbl_algorithms(ns=(32, 64, 128, 256), seed=1),
+        rounds=1,
+        iterations=1,
+    )
+    record_table(
+        "EXP-17-hbl-algorithms",
+        headers,
+        rows,
+        notes=(
+            "Criterion: swamping fewest rounds / most messages; "
+            "name-dropper fewest messages ([2]'s trade-off table)."
+        ),
+    )
+    for n in (64, 128, 256):
+        by_name = {row[0]: row for row in rows if row[1] == n}
+        rounds = {k: v[2] for k, v in by_name.items()}
+        msgs = {k: v[3] for k, v in by_name.items()}
+        assert rounds["swamping"] <= min(rounds.values()) + 1
+        assert msgs["swamping"] >= max(msgs[k] for k in ("pointer-jump", "name-dropper"))
+        assert msgs["name-dropper"] == min(msgs.values())

@@ -1,0 +1,35 @@
+"""EXP-1: Theorem 1's adversarial lower bound on complete binary trees.
+
+Runs the Generic algorithm on ``T(i)`` (edges toward the leaves) under the
+proof's exact adversary -- messages out of every subtree root stalled until
+the subtree is quiescent, released deepest-first.
+
+Shape criteria:
+* the measured count respects the proven floor ``i * 2^(i-1) - 2`` at every
+  height (the lower bound applies to *every* algorithm, ours included);
+* measured / floor converges toward a constant (both are Theta(n log n), so
+  the algorithm is message-optimal in this model up to constants).
+"""
+
+from repro.analysis.experiments import exp_tree_lower_bound
+
+HEIGHTS = (3, 4, 5, 6, 7, 8, 9, 10)
+
+
+def test_tree_lower_bound(benchmark, record_table):
+    headers, rows = benchmark.pedantic(
+        lambda: exp_tree_lower_bound(heights=HEIGHTS), rounds=1, iterations=1
+    )
+    record_table(
+        "EXP-1-tree-lower-bound",
+        headers,
+        rows,
+        notes=(
+            "Criterion: floor holds everywhere; measured/floor decreasing "
+            "toward a constant (Theorem 1 vs Theorem 5 envelope)."
+        ),
+    )
+    assert all(row[-1] for row in rows)
+    ratios = [row[4] for row in rows]
+    assert all(b <= a for a, b in zip(ratios, ratios[1:])), ratios
+    assert ratios[-1] < 6.0

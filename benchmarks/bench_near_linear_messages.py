@@ -1,0 +1,63 @@
+"""EXP-4: Bounded and Ad-hoc near-linear message scaling (Theorem 6).
+
+Shape criterion: ``messages / n`` is essentially flat for both variants
+(the ``alpha(n, n)`` factor is constant at laptop scales), and both
+variants beat the Generic algorithm on the same graphs, with Ad-hoc
+cheapest (it skips all conquer traffic).
+"""
+
+from repro.analysis.experiments import build_family, exp_near_linear_scaling
+from repro.core.generic import run_generic
+
+NS = (64, 128, 256, 512, 1024)
+
+
+def test_near_linear_scaling(benchmark, record_table):
+    headers, rows = benchmark.pedantic(
+        lambda: exp_near_linear_scaling(
+            ns=NS, variants=("bounded", "adhoc"), families=("sparse-random", "dense-random")
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record_table(
+        "EXP-4-near-linear-messages",
+        headers,
+        rows,
+        notes="Criterion: msgs/n flat across a 16x range of n (Theorem 6).",
+    )
+    for variant in ("bounded", "adhoc"):
+        for family in ("sparse-random", "dense-random"):
+            per_n = [
+                row[5] for row in rows if row[0] == variant and row[1] == family
+            ]
+            assert max(per_n) <= 16, (variant, family, per_n)
+            spread = max(per_n) / min(per_n)
+            assert spread <= 1.35, (variant, family, per_n)
+
+
+def test_variant_ordering(benchmark, record_table):
+    """Ad-hoc < Bounded < Generic in messages on identical graphs."""
+
+    def run():
+        rows = []
+        for n in (128, 512):
+            graph = build_family("dense-random", n, seed=2)
+            from repro.core.adhoc import run_adhoc
+            from repro.core.bounded import run_bounded
+
+            generic = run_generic(graph, seed=0).total_messages
+            bounded = run_bounded(graph, seed=0).total_messages
+            adhoc = run_adhoc(graph, seed=0).total_messages
+            rows.append([n, generic, bounded, adhoc])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_table(
+        "EXP-4b-variant-ordering",
+        ["n", "generic msgs", "bounded msgs", "adhoc msgs"],
+        rows,
+        notes="Criterion: adhoc < bounded < generic on every row.",
+    )
+    for n, generic, bounded, adhoc in rows:
+        assert adhoc < bounded < generic, (n, generic, bounded, adhoc)

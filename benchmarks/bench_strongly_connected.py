@@ -1,0 +1,28 @@
+"""EXP-13: the Section 1 observation -- strongly connected graphs admit
+O(n)-message resource discovery.
+
+Runs the token-traversal election (Cidon-Gopal-Kutten stand-in) on random
+strongly connected graphs.
+
+Shape criterion: messages / n is exactly ``2(n-1)/n`` (~2) at every size --
+linear with the constant the construction promises.
+"""
+
+from repro.analysis.experiments import exp_strongly_connected
+
+NS = (64, 128, 256, 512, 1024)
+
+
+def test_strongly_connected_linear(benchmark, record_table):
+    headers, rows = benchmark.pedantic(
+        lambda: exp_strongly_connected(ns=NS, seed=2), rounds=1, iterations=1
+    )
+    record_table(
+        "EXP-13-strongly-connected",
+        headers,
+        rows,
+        notes="Criterion: messages == 2(n-1) exactly (Section 1 observation).",
+    )
+    for row in rows:
+        n, messages = row[0], row[1]
+        assert messages == 2 * (n - 1), row

@@ -1,0 +1,45 @@
+"""EXP-15: time complexity under the normalized asynchronous time measure
+(Section 7's discussion).
+
+Every message takes one virtual time unit (``TimedScheduler``); the clock
+at quiescence is the execution's time complexity.  Compared against the
+synchronous baselines' round counts on the same graphs.
+
+Shape criteria:
+* the paper's algorithms complete in Theta(n) time (time/n flat) -- the
+  Section 7 remark that this algorithm's time is O(T + n);
+* the randomized synchronous baselines finish in polylog rounds, so the
+  rounds-vs-time gap *widens* with n (the trade the paper makes for
+  asynchrony + optimal messages).
+"""
+
+import math
+
+from repro.analysis.experiments import exp_time_complexity
+
+NS = (64, 128, 256, 512)
+
+
+def test_time_complexity(benchmark, record_table):
+    headers, rows = benchmark.pedantic(
+        lambda: exp_time_complexity(ns=NS, seed=2), rounds=1, iterations=1
+    )
+    record_table(
+        "EXP-15-time-complexity",
+        headers,
+        rows,
+        notes=(
+            "Criterion: generic/adhoc completion time Theta(n) (time/n "
+            "flat); baselines polylog rounds; the gap widens with n."
+        ),
+    )
+    per_n = [row[3] for row in rows]
+    assert max(per_n) <= 8.0, per_n
+    assert max(per_n) / min(per_n) <= 1.6, per_n
+    for row in rows:
+        n, nd_rounds, ls_rounds = row[0], row[4], row[5]
+        assert nd_rounds <= 4 * math.log2(n) ** 2
+        assert ls_rounds <= 30 * math.log2(n)
+    # The linear-vs-polylog gap must widen: time/rounds grows with n.
+    gaps = [row[1] / row[4] for row in rows]
+    assert gaps[-1] > gaps[0], gaps

@@ -1,0 +1,46 @@
+"""EXP-14: sequential Union-Find cost curves (the substrate sanity check).
+
+Measures pointer operations for union-by-rank under full path compression,
+path halving, and no compression, on identical random workloads.
+
+Shape criteria:
+* rank/random workload: every find rule is near-linear -- pointer ops /
+  (m alpha(m, n)) bounded and flat (union by rank alone caps depths at
+  log n, so compression is not even needed there; its extra writes can
+  exceed its savings, a fact the table records);
+* naive/chain workload: the adversarial regime -- uncompressed finds pay
+  the chain depth and the ratio explodes with n, while compressed finds
+  stay near-linear (the Tarjan-van Leeuwen bound behind Lemma 5.6).
+"""
+
+from repro.analysis.experiments import exp_sequential_unionfind
+
+NS = (256, 1024, 4096, 16384)
+
+
+def test_sequential_unionfind(benchmark, record_table):
+    headers, rows = benchmark.pedantic(
+        lambda: exp_sequential_unionfind(ns=NS, seed=0), rounds=1, iterations=1
+    )
+    record_table(
+        "EXP-14-sequential-unionfind",
+        headers,
+        rows,
+        notes=(
+            "Criterion: compress/halve ratios flat (O(m alpha)); 'none' "
+            "grows with n (the compression gap)."
+        ),
+    )
+    def ratios(workload, rule):
+        return [row[4] for row in rows if row[0] == workload and row[2] == rule]
+
+    for rule in ("compress", "halve", "none"):
+        series = ratios("rank/random", rule)
+        assert max(series) <= 12, (rule, series)
+        assert series[-1] <= series[0] * 1.3, (rule, series)
+    compressed = ratios("naive/chain", "compress")
+    uncompressed = ratios("naive/chain", "none")
+    assert max(compressed) <= 12, compressed
+    # The uncompressed adversarial curve grows ~linearly in n.
+    assert uncompressed[-1] > 10 * compressed[-1], (uncompressed, compressed)
+    assert uncompressed[-1] > 2 * uncompressed[0]

@@ -1,0 +1,35 @@
+"""EXP-2: the Lemma 3.1 Union-Find reduction driving Ad-hoc discovery.
+
+Compiles union/find schedules into knowledge graphs, wakes operation nodes
+one at a time, and measures messages per operation.
+
+Shape criteria:
+* amortized messages per operation are bounded by a constant (the
+  ``alpha`` factor never exceeds 3 at these sizes) across a 16x size range
+  -- the Theta(n alpha(n, n)) optimality of Theorems 2 + 6;
+* the ratio measured / (m * alpha(m, n)) does not grow with n.
+"""
+
+from repro.analysis.experiments import exp_unionfind_reduction
+
+NS = (16, 32, 64, 128, 256)
+
+
+def test_unionfind_reduction(benchmark, record_table):
+    headers, rows = benchmark.pedantic(
+        lambda: exp_unionfind_reduction(ns=NS, seed=1), rounds=1, iterations=1
+    )
+    record_table(
+        "EXP-2-unionfind-reduction",
+        headers,
+        rows,
+        notes=(
+            "Criterion: msgs/op bounded by a constant; msgs/(m alpha) "
+            "non-increasing in n per schedule kind (Theorem 2 optimality)."
+        ),
+    )
+    for kind in ("random", "binomial", "chain"):
+        per_op = [row[4] for row in rows if row[0] == kind]
+        assert max(per_op) <= 30, (kind, per_op)
+        ratios = [row[5] for row in rows if row[0] == kind]
+        assert ratios[-1] <= ratios[0] * 1.3, (kind, ratios)

@@ -1,0 +1,33 @@
+"""Face-off: the paper's algorithms vs. the prior-work baselines.
+
+Regenerates the Section 1.1 comparison on one weakly connected graph:
+flooding (folklore), Name-Dropper (Harchol-Balter, Leighton, Lewin),
+Law-Siu, a KPV-style deterministic synchronous algorithm, and the paper's
+Generic / Bounded / Ad-hoc asynchronous algorithms -- plus the strongly
+connected special case from Section 1.
+
+Run:  python examples/baseline_faceoff.py
+"""
+
+from repro.analysis.experiments import exp_baseline_comparison, exp_strongly_connected
+from repro.analysis.tables import render_table
+
+
+def main() -> None:
+    print("weakly connected graph, n=256, |E0| ~ 4n:\n")
+    headers, rows = exp_baseline_comparison(n=256, extra_edges_factor=4, seed=3)
+    print(render_table(headers, rows))
+    print(
+        "\nreading the table: flooding pays quadratic-ish bits; the "
+        "randomized baselines need O(n log n)+ messages; the paper's "
+        "Ad-hoc algorithm is the cheapest in messages (Theta(n alpha)) "
+        "while staying asynchronous and deterministic.\n"
+    )
+
+    print("strongly connected special case (Section 1): O(n) messages:\n")
+    headers, rows = exp_strongly_connected(ns=(64, 256, 1024))
+    print(render_table(headers, rows))
+
+
+if __name__ == "__main__":
+    main()

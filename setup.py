@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+All metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e . --no-use-pep517`` works on minimal offline environments
+that lack the ``wheel`` package (legacy editable installs need a setup.py).
+"""
+
+from setuptools import setup
+
+setup()

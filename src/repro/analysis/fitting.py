@@ -1,0 +1,139 @@
+"""Complexity-model fitting for the scaling experiments.
+
+The evaluation's "shape" claims -- Generic messages grow like ``n log n``,
+Bounded/Ad-hoc like ``n alpha(n, n)``, bits like ``|E0| log n + n log^2 n``
+-- are validated by fitting measured series against a family of candidate
+cost models and reporting which model explains the data best.
+
+Fitting is single-parameter least squares on the *relative* scale: for a
+candidate model ``f`` we choose ``c`` minimising
+``sum((y_i - c f(n_i))^2 / f(n_i)^2)`` (so every point counts equally
+regardless of magnitude) and score the fit by the maximum relative
+residual.  Pure stdlib implementation -- numpy is an optional extra, and
+the quantities here are tiny.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.unionfind.ackermann import alpha
+
+__all__ = ["CostModel", "FitResult", "COST_MODELS", "fit_model", "best_model", "ratio_series", "crossover"]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """A named candidate cost function ``f(n)``."""
+
+    name: str
+    fn: Callable[[int], float]
+
+    def __call__(self, n: int) -> float:
+        return self.fn(n)
+
+
+def _log2(n: int) -> float:
+    return math.log2(max(2, n))
+
+
+COST_MODELS: Dict[str, CostModel] = {
+    model.name: model
+    for model in (
+        CostModel("n", lambda n: float(n)),
+        CostModel("n alpha(n,n)", lambda n: n * alpha(max(1, n), max(1, n))),
+        CostModel("n log n", lambda n: n * _log2(n)),
+        CostModel("n log^2 n", lambda n: n * _log2(n) ** 2),
+        CostModel("n^2", lambda n: float(n) * n),
+        CostModel("n sqrt n", lambda n: n * math.sqrt(n)),
+    )
+}
+
+
+@dataclass(frozen=True)
+class FitResult:
+    """Outcome of fitting one cost model to a measured series."""
+
+    model: CostModel
+    constant: float
+    max_relative_residual: float
+    mean_relative_residual: float
+
+    def __str__(self) -> str:
+        return (
+            f"{self.model.name}: c={self.constant:.3f} "
+            f"max-res={self.max_relative_residual:.3f} "
+            f"mean-res={self.mean_relative_residual:.3f}"
+        )
+
+
+def fit_model(
+    ns: Sequence[int], ys: Sequence[float], model: CostModel
+) -> FitResult:
+    """Least-squares fit of ``y = c * model(n)`` on the relative scale."""
+    if len(ns) != len(ys) or not ns:
+        raise ValueError("ns and ys must be equal-length, non-empty sequences")
+    ratios = [y / model(n) for n, y in zip(ns, ys)]
+    constant = sum(ratios) / len(ratios)
+    if constant == 0:
+        return FitResult(model, 0.0, float("inf"), float("inf"))
+    residuals = [abs(r - constant) / constant for r in ratios]
+    return FitResult(
+        model,
+        constant,
+        max(residuals),
+        sum(residuals) / len(residuals),
+    )
+
+
+def best_model(
+    ns: Sequence[int],
+    ys: Sequence[float],
+    candidates: Sequence[str] = ("n", "n alpha(n,n)", "n log n", "n log^2 n", "n^2"),
+) -> FitResult:
+    """Fit every candidate and return the one with smallest max residual.
+
+    Note that ``n`` and ``n alpha(n,n)`` are numerically almost parallel at
+    laptop scales (alpha is a small constant); the scaling experiments
+    therefore distinguish *near-linear* from *superlinear* shapes rather
+    than claiming to resolve alpha against a constant.
+    """
+    fits = [fit_model(ns, ys, COST_MODELS[name]) for name in candidates]
+    return min(fits, key=lambda fit: fit.max_relative_residual)
+
+
+def ratio_series(
+    ns: Sequence[int], ys: Sequence[float], model_name: str
+) -> List[Tuple[int, float]]:
+    """``[(n, y / model(n))]`` -- flat iff the model matches the data."""
+    model = COST_MODELS[model_name]
+    return [(n, y / model(n)) for n, y in zip(ns, ys)]
+
+
+def crossover(
+    ns: Sequence[int], ys_a: Sequence[float], ys_b: Sequence[float]
+) -> Tuple[str, float]:
+    """Locate where series A overtakes series B (or vice versa).
+
+    Returns ``(kind, x)`` where kind is ``"a_wins"`` (A below B everywhere),
+    ``"b_wins"``, or ``"crossover"`` with ``x`` the linearly-interpolated
+    crossing point.  Used by comparison experiments to report "who wins,
+    and where the lead changes".
+    """
+    if not (len(ns) == len(ys_a) == len(ys_b)) or len(ns) < 2:
+        raise ValueError("need three equal-length series of length >= 2")
+    diffs = [a - b for a, b in zip(ys_a, ys_b)]
+    if all(d <= 0 for d in diffs):
+        return ("a_wins", float("nan"))
+    if all(d >= 0 for d in diffs):
+        return ("b_wins", float("nan"))
+    for i in range(len(diffs) - 1):
+        if diffs[i] == 0:
+            return ("crossover", float(ns[i]))
+        if diffs[i] * diffs[i + 1] < 0:
+            x0, x1 = ns[i], ns[i + 1]
+            d0, d1 = diffs[i], diffs[i + 1]
+            return ("crossover", x0 + (x1 - x0) * (-d0) / (d1 - d0))
+    return ("crossover", float(ns[-1]))

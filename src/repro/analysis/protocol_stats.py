@@ -1,0 +1,107 @@
+"""Post-execution protocol profiling.
+
+Beyond the aggregate message counts, several quantities inside the
+protocol are bounded by the analysis and worth inspecting:
+
+* **phases** -- Lemma 5.8's proof states "the maximum phase of any leader
+  is log n" (the union-by-rank correspondence: a leader reaches phase ``p``
+  only with a cluster of size ``>= 2^(p-1)``).  The profile records the
+  full final-phase histogram and checks the bound.
+* **pointer depths** -- property 3 (direct pointers) vs 3b (paths); the
+  depth distribution quantifies how much path compression saved.
+* **traffic mix** -- per-message-type share of messages and bits, the
+  empirical face of the Section 5 lemma decomposition.
+
+Profiles are produced from the quiescent node map that the runners and
+:func:`~repro.core.runner.build_simulation` expose.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Tuple
+
+from repro.core.node import DiscoveryNode
+from repro.sim.trace import MessageStats
+
+NodeId = Hashable
+
+__all__ = ["ProtocolProfile", "profile_execution"]
+
+
+@dataclass
+class ProtocolProfile:
+    """Distributional statistics of one finished execution."""
+
+    n: int
+    phase_histogram: Dict[int, int]
+    max_phase: int
+    phase_bound: int
+    depth_histogram: Dict[int, int]
+    max_depth: int
+    message_share: Dict[str, float]
+    bit_share: Dict[str, float]
+
+    @property
+    def phase_bound_holds(self) -> bool:
+        """Lemma 5.8's companion claim: max phase <= log2 n (+1 slack for
+        the initial phase-1 convention)."""
+        return self.max_phase <= self.phase_bound
+
+    def summary(self) -> str:
+        phases = ", ".join(
+            f"{phase}:{count}" for phase, count in sorted(self.phase_histogram.items())
+        )
+        return (
+            f"n={self.n} max_phase={self.max_phase} (bound {self.phase_bound}) "
+            f"phases[{phases}] max_depth={self.max_depth}"
+        )
+
+
+def profile_execution(
+    nodes: Dict[NodeId, DiscoveryNode],
+    stats: MessageStats,
+) -> ProtocolProfile:
+    """Profile a quiescent execution's node map and accounting."""
+    n = len(nodes)
+    phase_histogram: Dict[int, int] = {}
+    for node in nodes.values():
+        phase_histogram[node.phase] = phase_histogram.get(node.phase, 0) + 1
+    max_phase = max((node.phase for node in nodes.values()), default=0)
+    phase_bound = int(math.log2(max(2, n))) + 1
+
+    depth_histogram: Dict[int, int] = {}
+    for node_id, node in nodes.items():
+        depth = 0
+        current = node_id
+        hops = 0
+        while not nodes[current].is_leader and nodes[current].next != current:
+            current = nodes[current].next
+            depth += 1
+            hops += 1
+            if hops > n:
+                raise RuntimeError(f"pointer chain from {node_id!r} does not resolve")
+        depth_histogram[depth] = depth_histogram.get(depth, 0) + 1
+    max_depth = max(depth_histogram, default=0)
+
+    total_messages = max(1, stats.total_messages)
+    total_bits = max(1, stats.total_bits)
+    message_share = {
+        msg_type: count / total_messages
+        for msg_type, count in sorted(stats.messages_by_type.items())
+    }
+    bit_share = {
+        msg_type: bits / total_bits
+        for msg_type, bits in sorted(stats.bits_by_type.items())
+    }
+    return ProtocolProfile(
+        n=n,
+        phase_histogram=phase_histogram,
+        max_phase=max_phase,
+        phase_bound=phase_bound,
+        depth_histogram=depth_histogram,
+        max_depth=max_depth,
+        message_share=message_share,
+        bit_share=bit_share,
+    )

@@ -1,0 +1,130 @@
+"""Persistent experiment records and drift detection.
+
+Benchmarks write their tables as JSON records next to the rendered text;
+:func:`compare_records` diffs two records cell by cell and reports numeric
+drifts beyond a relative tolerance.  A downstream user can commit one run's
+``benchmarks/results/*.json`` as golden data and fail CI when a change
+shifts the measured complexity tables -- shape regression testing for a
+protocol stack whose "performance" is message counts.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import pathlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+PathLike = Union[str, pathlib.Path]
+
+__all__ = ["ExperimentRecord", "save_record", "load_record", "compare_records"]
+
+
+@dataclass
+class ExperimentRecord:
+    """One experiment table plus provenance metadata."""
+
+    name: str
+    headers: List[str]
+    rows: List[List[Any]]
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "name": self.name,
+                "headers": self.headers,
+                "rows": self.rows,
+                "metadata": self.metadata,
+            },
+            indent=1,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentRecord":
+        payload = json.loads(text)
+        missing = {"name", "headers", "rows"} - set(payload)
+        if missing:
+            raise ValueError(f"record missing fields: {sorted(missing)}")
+        return cls(
+            name=payload["name"],
+            headers=list(payload["headers"]),
+            rows=[list(row) for row in payload["rows"]],
+            metadata=dict(payload.get("metadata", {})),
+        )
+
+
+def save_record(
+    directory: PathLike,
+    name: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    *,
+    metadata: Optional[Dict[str, Any]] = None,
+) -> pathlib.Path:
+    """Write ``<directory>/<name>.json``; returns the path."""
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    record = ExperimentRecord(
+        name=name,
+        headers=list(headers),
+        rows=[list(row) for row in rows],
+        metadata={"saved": datetime.date.today().isoformat(), **(metadata or {})},
+    )
+    path = directory / f"{name}.json"
+    path.write_text(record.to_json())
+    return path
+
+
+def load_record(directory: PathLike, name: str) -> ExperimentRecord:
+    """Read ``<directory>/<name>.json``."""
+    path = pathlib.Path(directory) / f"{name}.json"
+    return ExperimentRecord.from_json(path.read_text())
+
+
+def compare_records(
+    golden: ExperimentRecord,
+    fresh: ExperimentRecord,
+    *,
+    rel_tolerance: float = 0.25,
+) -> List[str]:
+    """Return human-readable drift descriptions (empty list = no drift).
+
+    Structural changes (headers, row count, non-numeric cells) are always
+    reported; numeric cells are compared with relative tolerance, so the
+    exact-count columns stay pinned while timing-ish columns get slack by
+    choosing the tolerance.
+    """
+    if rel_tolerance < 0:
+        raise ValueError(f"rel_tolerance must be >= 0, got {rel_tolerance}")
+    drifts: List[str] = []
+    if golden.headers != fresh.headers:
+        drifts.append(f"headers changed: {golden.headers} -> {fresh.headers}")
+        return drifts
+    if len(golden.rows) != len(fresh.rows):
+        drifts.append(f"row count changed: {len(golden.rows)} -> {len(fresh.rows)}")
+        return drifts
+    for row_index, (old_row, new_row) in enumerate(zip(golden.rows, fresh.rows)):
+        if len(old_row) != len(new_row):
+            drifts.append(f"row {row_index}: cell count changed")
+            continue
+        for col_index, (old, new) in enumerate(zip(old_row, new_row)):
+            column = golden.headers[col_index]
+            if isinstance(old, bool) or isinstance(new, bool):
+                if old != new:
+                    drifts.append(
+                        f"row {row_index} [{column}]: {old!r} -> {new!r}"
+                    )
+                continue
+            if isinstance(old, (int, float)) and isinstance(new, (int, float)):
+                scale = max(abs(old), abs(new), 1e-12)
+                if abs(old - new) / scale > rel_tolerance:
+                    drifts.append(
+                        f"row {row_index} [{column}]: {old} -> {new} "
+                        f"(drift {abs(old - new) / scale:.0%} > {rel_tolerance:.0%})"
+                    )
+                continue
+            if old != new:
+                drifts.append(f"row {row_index} [{column}]: {old!r} -> {new!r}")
+    return drifts

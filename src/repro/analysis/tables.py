@@ -1,0 +1,48 @@
+"""Plain-text table rendering for experiment reports.
+
+Every benchmark prints its table through :func:`render_table` so the output
+in ``bench_output.txt`` / EXPERIMENTS.md has one consistent format.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence
+
+__all__ = ["render_table", "format_number"]
+
+
+def format_number(value: Any) -> str:
+    """Human-friendly cell formatting: floats to 3 significant-ish digits."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """Render an aligned monospace table with a header rule."""
+    cells: List[List[str]] = [[format_number(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}: {row}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)).rstrip(),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in cells:
+        lines.append(
+            "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)).rstrip()
+        )
+    return "\n".join(lines)

@@ -1,0 +1,42 @@
+"""Baseline resource-discovery algorithms for the comparison experiments.
+
+One implementation per prior-work row of the paper's Section 1.1, plus the
+folklore flooding strawman and the Section 1 strongly-connected
+observation.  See DESIGN.md section 4 for the documented substitutions.
+"""
+
+from repro.baselines.common import BaselineResult, verify_baseline
+from repro.baselines.flooding import FloodingNode, run_flooding
+from repro.baselines.kp_async import KPAsyncNode, run_kp_async
+from repro.baselines.kpv_style import KPVStyleNode, run_kpv_style
+from repro.baselines.law_siu import LawSiuNode, run_law_siu
+from repro.baselines.name_dropper import NameDropperNode, run_name_dropper
+from repro.baselines.pointer_jump import (
+    PointerJumpDiverged,
+    PointerJumpNode,
+    run_pointer_jump,
+)
+from repro.baselines.strong_election import TraversalNode, run_strong_election
+from repro.baselines.swamping import SwampingNode, run_swamping
+
+__all__ = [
+    "BaselineResult",
+    "verify_baseline",
+    "run_flooding",
+    "run_name_dropper",
+    "run_law_siu",
+    "run_kpv_style",
+    "run_kp_async",
+    "KPAsyncNode",
+    "run_strong_election",
+    "run_swamping",
+    "run_pointer_jump",
+    "PointerJumpDiverged",
+    "SwampingNode",
+    "PointerJumpNode",
+    "FloodingNode",
+    "NameDropperNode",
+    "LawSiuNode",
+    "KPVStyleNode",
+    "TraversalNode",
+]

@@ -1,0 +1,307 @@
+"""Shared cluster-merging machinery for the Law-Siu and KPV-style baselines.
+
+Both baselines maintain a partition of the nodes into *clusters*, each with
+a leader that knows its member set and a *frontier* of known-but-external
+ids.  Rounds proceed as repeated handshakes:
+
+1. an eligible leader issues a ``call`` to one frontier id (eligibility and
+   target choice are the policy hooks that distinguish the baselines);
+2. the call is forwarded along leader pointers to the target's current
+   leader (stale pointers cost extra forwarding messages, as they would in
+   a real deployment);
+3. the callee decides ``"merge"`` or ``"reject"`` (Law-Siu's heads/heads
+   collision); on a merge, **the leader with the larger id transfers its
+   cluster to the one with the smaller id** -- either by moving itself or
+   by sending ``you-join-me`` to the caller;
+4. the absorbing leader merges the transfer and ``relabel``\\ s the moved
+   members.
+
+The fixed id-ordered transfer direction is the crucial liveness device: a
+transfer always moves a cluster to a strictly smaller leader id, so the
+leader-pointer graph is acyclic *by construction* even when many merges
+race in the same round.  (Directions keyed on mutable quantities like
+cluster size deadlock here: two leaders can simultaneously decide to join
+each other on stale sizes, and the resulting pointer cycle forwards their
+transfers forever.)
+
+Calls that come home to their own cluster prune the frontier instead of
+merging.  Any cluster-protocol message reaching a non-leader is forwarded
+to its current leader, which keeps handshakes live without global
+coordination.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, Hashable, List, Set, Tuple
+
+from repro.baselines.common import BaselineResult
+from repro.core.runner import id_bits_for
+from repro.graphs.knowledge_graph import KnowledgeGraph
+from repro.sim.trace import bits_for_ids
+from repro.sync.engine import SyncNode, SyncSimulator
+
+NodeId = Hashable
+
+__all__ = [
+    "Call",
+    "YouJoinMe",
+    "Reject",
+    "Transfer",
+    "Relabel",
+    "ClusterMergeNode",
+    "run_cluster_merge",
+]
+
+
+def _order_key(node_id: NodeId) -> str:
+    """The fixed total order used for transfer direction."""
+    return repr(node_id)
+
+
+@dataclass(frozen=True)
+class Call:
+    """Leader ``origin`` (cluster size ``size``) calls frontier id ``target``."""
+
+    origin: NodeId
+    size: int
+    target: NodeId
+    msg_type = "cm-call"
+
+    def bit_size(self, id_bits: int) -> int:
+        return bits_for_ids(2, id_bits, extra_ints=1)
+
+
+@dataclass(frozen=True)
+class YouJoinMe:
+    """Callee ``absorber`` tells caller ``origin`` to transfer itself over."""
+
+    absorber: NodeId
+    origin: NodeId
+    msg_type = "cm-you-join-me"
+
+    def bit_size(self, id_bits: int) -> int:
+        return bits_for_ids(2, id_bits)
+
+
+@dataclass(frozen=True)
+class Reject:
+    """The callee is not merging this round (Law-Siu heads/heads)."""
+
+    origin: NodeId
+    target: NodeId
+    msg_type = "cm-reject"
+
+    def bit_size(self, id_bits: int) -> int:
+        return bits_for_ids(2, id_bits)
+
+
+@dataclass(frozen=True)
+class Transfer:
+    """A whole cluster moves: members + frontier, from ``from_leader``."""
+
+    from_leader: NodeId
+    members: FrozenSet[NodeId]
+    frontier: FrozenSet[NodeId]
+    msg_type = "cm-transfer"
+
+    def bit_size(self, id_bits: int) -> int:
+        return bits_for_ids(1 + len(self.members) + len(self.frontier), id_bits)
+
+
+@dataclass(frozen=True)
+class Relabel:
+    """Tell a moved member who its new leader is."""
+
+    leader: NodeId
+    msg_type = "cm-relabel"
+
+    def bit_size(self, id_bits: int) -> int:
+        return bits_for_ids(1, id_bits)
+
+
+class ClusterMergeNode(SyncNode):
+    """One participant of a cluster-merging baseline.
+
+    Subclasses implement :meth:`may_call` (is this leader eligible to call
+    this round?), :meth:`decide` (merge or reject an incoming call) and
+    :meth:`pick_target` (which frontier id to call).
+    """
+
+    def __init__(self, node_id: NodeId, initial: FrozenSet[NodeId]) -> None:
+        super().__init__(node_id)
+        self.is_leader = True
+        self.leader_ptr: NodeId = node_id
+        self.members: Set[NodeId] = {node_id}
+        self.frontier: Set[NodeId] = set(initial) - {node_id}
+        self.call_outstanding = False
+        self._outbox: List[Tuple[NodeId, Any]] = []
+
+    # -- policy hooks ----------------------------------------------------
+    def may_call(self, round_no: int) -> bool:
+        raise NotImplementedError
+
+    def decide(self, call: Call, round_no: int) -> str:
+        """Return ``"merge"`` or ``"reject"``."""
+        raise NotImplementedError
+
+    def pick_target(self, round_no: int) -> NodeId:
+        raise NotImplementedError
+
+    def begin_round(self, round_no: int) -> None:
+        """Per-round setup (e.g. the Law-Siu coin flip)."""
+
+    # -- engine ------------------------------------------------------------
+    def on_round(
+        self, round_no: int, inbox: List[Tuple[NodeId, Any]]
+    ) -> List[Tuple[NodeId, Any]]:
+        self._outbox = []
+        self.begin_round(round_no)
+        for sender, message in inbox:
+            self._handle(sender, message, round_no)
+        if (
+            self.is_leader
+            and not self.call_outstanding
+            and self._prune_frontier()
+            and self.may_call(round_no)
+        ):
+            target = self.pick_target(round_no)
+            self.call_outstanding = True
+            self._send(target, Call(self.node_id, len(self.members), target))
+        return self._outbox
+
+    def _send(self, dst: NodeId, message: Any) -> None:
+        self._outbox.append((dst, message))
+
+    def _prune_frontier(self) -> bool:
+        """Drop frontier ids that joined the cluster; True if any remain."""
+        self.frontier -= self.members
+        return bool(self.frontier)
+
+    # -- message handling --------------------------------------------------
+    def _handle(self, sender: NodeId, message: Any, round_no: int) -> None:
+        if message.msg_type == "cm-relabel":
+            self.leader_ptr = message.leader
+            return
+        if not self.is_leader:
+            # Stale addressing: pass it on toward the current leader.
+            self._send(self.leader_ptr, message)
+            return
+        if message.msg_type == "cm-call":
+            self._leader_on_call(message, round_no)
+        elif message.msg_type == "cm-you-join-me":
+            self._leader_on_you_join_me(message)
+        elif message.msg_type == "cm-reject":
+            self.call_outstanding = False
+        elif message.msg_type == "cm-transfer":
+            self._leader_on_transfer(message)
+        else:
+            raise ValueError(f"unexpected message {message!r}")
+
+    def _leader_on_call(self, call: Call, round_no: int) -> None:
+        if call.origin == self.node_id or call.origin in self.members:
+            # Our own call came home: the target already belongs to us.
+            self.frontier.discard(call.target)
+            self.call_outstanding = False
+            return
+        if self.decide(call, round_no) == "reject":
+            self._send(call.origin, Reject(call.origin, call.target))
+            return
+        # Merge: the larger id moves, whichever side it is.
+        if _order_key(call.origin) > _order_key(self.node_id):
+            self._send(call.origin, YouJoinMe(self.node_id, call.origin))
+        else:
+            self._transfer_to(call.origin)
+
+    def _leader_on_you_join_me(self, message: YouJoinMe) -> None:
+        self.call_outstanding = False
+        if message.absorber == self.node_id or message.absorber in self.members:
+            return  # crossed with a merge the other way; already resolved
+        if _order_key(message.absorber) >= _order_key(self.node_id):
+            # Forwarded to us after the original origin moved; complying
+            # would transfer toward a larger id and risk a pointer cycle.
+            # Safe to drop: the absorber still has the target id in its
+            # frontier and will call again.
+            return
+        self._transfer_to(message.absorber)
+
+    def _transfer_to(self, absorber: NodeId) -> None:
+        self._send(
+            absorber,
+            Transfer(
+                self.node_id, frozenset(self.members), frozenset(self.frontier)
+            ),
+        )
+        self.is_leader = False
+        self.leader_ptr = absorber
+        self.call_outstanding = False
+        self.members = {self.node_id}
+        self.frontier = set()
+
+    def _leader_on_transfer(self, transfer: Transfer) -> None:
+        self.call_outstanding = False
+        self.members |= transfer.members
+        self.frontier |= transfer.frontier
+        self.frontier -= self.members
+        self.frontier.discard(self.node_id)
+        for member in sorted(transfer.members, key=repr):
+            if member != transfer.from_leader and member != self.node_id:
+                self._send(member, Relabel(self.node_id))
+
+
+def run_cluster_merge(
+    graph: KnowledgeGraph,
+    node_factory,
+    name: str,
+    *,
+    max_rounds: int = 100_000,
+) -> BaselineResult:
+    """Drive a cluster-merge baseline to silence and collect the outcome."""
+    sim = SyncSimulator(id_bits=id_bits_for(graph.n))
+    nodes: Dict[NodeId, ClusterMergeNode] = {}
+    for node_id in graph.nodes:
+        node = node_factory(node_id, graph.successors(node_id))
+        nodes[node_id] = node
+        sim.add_node(node)
+
+    # A silent round is not termination for randomized policies (a Law-Siu
+    # leader that flips tails sends nothing but still has work); stop only
+    # when silence coincides with every leader's frontier being exhausted.
+    def work_remains() -> bool:
+        return any(
+            node.is_leader and (node.frontier - node.members)
+            for node in nodes.values()
+        )
+
+    while True:
+        sent = sim.step_round()
+        pending = sim.pending()
+        if sent == 0 and pending == 0 and not work_remains():
+            break
+        if sim.rounds >= max_rounds:
+            raise RuntimeError(f"{name}: no convergence within {max_rounds} rounds")
+    rounds = sim.rounds
+
+    def resolve(start: NodeId) -> NodeId:
+        current = start
+        seen: Set[NodeId] = set()
+        while not nodes[current].is_leader:
+            if current in seen:
+                raise RuntimeError(f"{name}: leader-pointer cycle at {current!r}")
+            seen.add(current)
+            current = nodes[current].leader_ptr
+        return current
+
+    leader_of = {node_id: resolve(node_id) for node_id in graph.nodes}
+    leaders = sorted(set(leader_of.values()), key=repr)
+    knowledge = {leader: frozenset(nodes[leader].members) for leader in leaders}
+    return BaselineResult(
+        name=name,
+        n=graph.n,
+        n_edges=graph.n_edges,
+        rounds=rounds,
+        stats=sim.stats.snapshot(),
+        leaders=leaders,
+        leader_of=leader_of,
+        knowledge=knowledge,
+    )

@@ -1,0 +1,98 @@
+"""Shared plumbing for the baseline resource-discovery algorithms.
+
+All baselines report a :class:`BaselineResult` with the same quantities as
+the core algorithms' :class:`~repro.core.result.DiscoveryResult` (messages,
+bits, rounds, leaders, completeness), so EXP-11's comparison table can be
+assembled uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Hashable, List
+
+from repro.graphs.components import weakly_connected_components
+from repro.graphs.knowledge_graph import KnowledgeGraph
+from repro.sim.trace import MessageStats, bits_for_ids
+
+NodeId = Hashable
+
+__all__ = ["BaselineResult", "IdSetMessage", "SmallMessage", "verify_baseline"]
+
+
+@dataclass(frozen=True)
+class IdSetMessage:
+    """A message whose payload is a set of node ids (plus the header)."""
+
+    ids: FrozenSet[NodeId]
+    msg_type: str = "id-set"
+
+    def bit_size(self, id_bits: int) -> int:
+        return bits_for_ids(len(self.ids), id_bits)
+
+
+@dataclass(frozen=True)
+class SmallMessage:
+    """A constant-size control message carrying up to a few ids/integers."""
+
+    msg_type: str
+    n_ids: int = 1
+
+    def bit_size(self, id_bits: int) -> int:
+        return bits_for_ids(self.n_ids, id_bits)
+
+
+@dataclass
+class BaselineResult:
+    """Outcome of one baseline execution."""
+
+    name: str
+    n: int
+    n_edges: int
+    rounds: int
+    stats: MessageStats
+    leaders: List[NodeId]
+    leader_of: Dict[NodeId, NodeId]
+    knowledge: Dict[NodeId, FrozenSet[NodeId]]
+
+    @property
+    def total_messages(self) -> int:
+        return self.stats.total_messages
+
+    @property
+    def total_bits(self) -> int:
+        return self.stats.total_bits
+
+    def summary(self) -> str:
+        return (
+            f"{self.name}: n={self.n} |E0|={self.n_edges} rounds={self.rounds} "
+            f"messages={self.total_messages} bits={self.total_bits} "
+            f"leaders={len(self.leaders)}"
+        )
+
+
+def verify_baseline(result: BaselineResult, graph: KnowledgeGraph) -> None:
+    """Assert the resource-discovery goals on a baseline's outcome.
+
+    Same three properties as the core algorithms: one leader per weak
+    component, the leader knows the whole component, and every node resolves
+    to its component's leader.
+    """
+    leader_set = set(result.leaders)
+    for component in weakly_connected_components(graph):
+        leaders_here = leader_set & component
+        if len(leaders_here) != 1:
+            raise AssertionError(
+                f"{result.name}: component with {len(leaders_here)} leaders"
+            )
+        leader = next(iter(leaders_here))
+        if result.knowledge[leader] != frozenset(component):
+            raise AssertionError(
+                f"{result.name}: leader {leader!r} knowledge != component"
+            )
+        for member in component:
+            if result.leader_of[member] != leader:
+                raise AssertionError(
+                    f"{result.name}: {member!r} resolves to "
+                    f"{result.leader_of[member]!r}, expected {leader!r}"
+                )

@@ -1,0 +1,72 @@
+"""Flooding: the folklore strawman baseline.
+
+Every node that learns new ids pushes its *entire* known set to every node
+it knows.  Converges on any weakly connected knowledge graph (a single
+message makes its edge bidirectional, and symmetric knowledge then closes
+transitively), but costs ``Theta(n)`` messages per node per learning event
+-- the motivating "what goes wrong without a real algorithm" row of the
+comparison table (EXP-11).  Leader selection is implicit: everybody ends up
+knowing everybody, and the maximum id wins.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, Hashable, List, Set, Tuple
+
+from repro.baselines.common import BaselineResult, IdSetMessage
+from repro.core.runner import id_bits_for
+from repro.graphs.knowledge_graph import KnowledgeGraph
+from repro.sync.engine import SyncNode, SyncSimulator
+
+NodeId = Hashable
+
+__all__ = ["run_flooding", "FloodingNode"]
+
+
+class FloodingNode(SyncNode):
+    """Pushes its full known set to all known peers whenever it grows."""
+
+    def __init__(self, node_id: NodeId, initial: FrozenSet[NodeId]) -> None:
+        super().__init__(node_id)
+        self.known: Set[NodeId] = set(initial) | {node_id}
+        self._dirty = True
+
+    def on_round(
+        self, round_no: int, inbox: List[Tuple[NodeId, Any]]
+    ) -> List[Tuple[NodeId, Any]]:
+        for sender, message in inbox:
+            incoming = set(message.ids) | {sender}
+            if not incoming <= self.known:
+                self._dirty = True
+            self.known |= incoming
+        if not self._dirty:
+            return []
+        self._dirty = False
+        payload = IdSetMessage(frozenset(self.known), msg_type="flood")
+        return [
+            (peer, payload) for peer in sorted(self.known - {self.node_id}, key=repr)
+        ]
+
+
+def run_flooding(graph: KnowledgeGraph, *, max_rounds: int = 10_000) -> BaselineResult:
+    """Run flooding to silence and report the discovery outcome."""
+    sim = SyncSimulator(id_bits=id_bits_for(graph.n))
+    nodes: Dict[NodeId, FloodingNode] = {}
+    for node_id in graph.nodes:
+        node = FloodingNode(node_id, graph.successors(node_id))
+        nodes[node_id] = node
+        sim.add_node(node)
+    rounds = sim.run(max_rounds)
+    leader_of = {node_id: max(node.known) for node_id, node in nodes.items()}
+    leaders = sorted(set(leader_of.values()), key=repr)
+    knowledge = {leader: frozenset(nodes[leader].known) for leader in leaders}
+    return BaselineResult(
+        name="flooding",
+        n=graph.n,
+        n_edges=graph.n_edges,
+        rounds=rounds,
+        stats=sim.stats.snapshot(),
+        leaders=leaders,
+        leader_of=leader_of,
+        knowledge=knowledge,
+    )

@@ -1,0 +1,68 @@
+"""Law-Siu: randomized leader absorption -- reference [5] of the paper.
+
+Law and Siu's brief announcement describes a randomized resource-discovery
+algorithm achieving, with high probability, ``O(n log n)`` messages and
+``O(log n)`` rounds on weakly connected graphs.  Only the announcement is
+published, so this module is a *reconstruction* of its coin-flip mating
+scheme on our cluster-merge skeleton (documented substitution, DESIGN.md
+section 4):
+
+* every cluster leader flips a fair coin each round;
+* a **heads** leader with a non-empty frontier calls one uniformly random
+  frontier id;
+* a **tails** leader merges with every caller that reaches it this round
+  (transfer direction is the skeleton's fixed id order); a heads callee
+  rejects and the caller retries.
+
+Two clusters pointing at each other merge with constant probability per
+round, giving the ``O(log n)`` rounds behaviour; message counts are
+reported as measured (EXP-11).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import FrozenSet, Hashable
+
+from repro.baselines.cluster_merge import Call, ClusterMergeNode, run_cluster_merge
+from repro.baselines.common import BaselineResult
+from repro.graphs.knowledge_graph import KnowledgeGraph
+
+NodeId = Hashable
+
+__all__ = ["run_law_siu", "LawSiuNode"]
+
+
+class LawSiuNode(ClusterMergeNode):
+    """Cluster-merge policy: coin-flip mating."""
+
+    def __init__(
+        self, node_id: NodeId, initial: FrozenSet[NodeId], rng: random.Random
+    ) -> None:
+        super().__init__(node_id, initial)
+        self._rng = rng
+        self._coin_heads = False
+
+    def begin_round(self, round_no: int) -> None:
+        self._coin_heads = self._rng.random() < 0.5
+
+    def may_call(self, round_no: int) -> bool:
+        return self._coin_heads
+
+    def decide(self, call: Call, round_no: int) -> str:
+        return "reject" if self._coin_heads else "merge"
+
+    def pick_target(self, round_no: int) -> NodeId:
+        return self._rng.choice(sorted(self.frontier, key=repr))
+
+
+def run_law_siu(
+    graph: KnowledgeGraph, *, seed: int = 0, max_rounds: int = 100_000
+) -> BaselineResult:
+    """Run the Law-Siu reconstruction to silence."""
+    master = random.Random(seed)
+
+    def factory(node_id: NodeId, initial: FrozenSet[NodeId]) -> LawSiuNode:
+        return LawSiuNode(node_id, initial, random.Random(master.randrange(2**62)))
+
+    return run_cluster_merge(graph, factory, "law-siu", max_rounds=max_rounds)

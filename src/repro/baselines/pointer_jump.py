@@ -1,0 +1,138 @@
+"""Random Pointer Jump: the third algorithm analysed by Harchol-Balter,
+Leighton and Lewin (reference [2] of the paper).
+
+Each synchronous round, every machine ``u`` contacts one uniformly random
+neighbour ``v``, and ``v`` sends its whole neighbour set back to ``u``
+(``u``'s set absorbs it).  Knowledge only flows *backwards* along edges, so
+-- as [2] observes -- the algorithm converges on strongly connected graphs
+but can fail to converge on weakly connected ones (a node that nobody
+points back toward is never discovered).  The runner therefore requires
+strong connectivity and the tests pin the non-convergence on a weak
+counterexample, reproducing [2]'s negative observation.
+
+Expected behaviour on strongly connected inputs: convergence in a
+polylogarithmic number of rounds w.h.p. with two messages per machine per
+round (the request and the reply).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, FrozenSet, Hashable, List, Set, Tuple
+
+from repro.baselines.common import BaselineResult, IdSetMessage, SmallMessage
+from repro.core.runner import id_bits_for
+from repro.graphs.components import is_strongly_connected
+from repro.graphs.knowledge_graph import KnowledgeGraph
+from repro.sync.engine import RoundLimitExceeded, SyncNode, SyncSimulator
+
+NodeId = Hashable
+
+__all__ = ["run_pointer_jump", "PointerJumpNode", "PointerJumpDiverged"]
+
+
+class PointerJumpDiverged(RuntimeError):
+    """The round budget expired without global completeness (the expected
+    outcome on graphs that are not strongly connected)."""
+
+
+class PointerJumpNode(SyncNode):
+    """One Random-Pointer-Jump machine."""
+
+    def __init__(
+        self, node_id: NodeId, initial: FrozenSet[NodeId], rng: random.Random
+    ) -> None:
+        super().__init__(node_id)
+        self.neighbors: Set[NodeId] = set(initial) - {node_id}
+        self._rng = rng
+
+    def on_round(
+        self, round_no: int, inbox: List[Tuple[NodeId, Any]]
+    ) -> List[Tuple[NodeId, Any]]:
+        out: List[Tuple[NodeId, Any]] = []
+        for sender, message in inbox:
+            if message.msg_type == "pj-request":
+                out.append(
+                    (
+                        sender,
+                        IdSetMessage(
+                            frozenset(self.neighbors | {self.node_id}),
+                            msg_type="pj-reply",
+                        ),
+                    )
+                )
+            else:  # pj-reply
+                self.neighbors |= (set(message.ids) | {sender}) - {self.node_id}
+        if self.neighbors:
+            target = self._rng.choice(sorted(self.neighbors, key=repr))
+            out.append((target, SmallMessage("pj-request", n_ids=0)))
+        return out
+
+
+def run_pointer_jump(
+    graph: KnowledgeGraph,
+    *,
+    seed: int = 0,
+    max_rounds: int = 10_000,
+    require_strong: bool = True,
+) -> BaselineResult:
+    """Run Random Pointer Jump until completeness.
+
+    With ``require_strong`` (default) a non-strongly-connected input is
+    rejected up front; pass ``require_strong=False`` to observe [2]'s
+    non-convergence (the run then raises :class:`PointerJumpDiverged` when
+    the round budget expires).
+    """
+    if require_strong and not is_strongly_connected(graph):
+        raise ValueError(
+            "random pointer jump converges on strongly connected graphs; "
+            "pass require_strong=False to observe the divergence"
+        )
+    master = random.Random(seed)
+    sim = SyncSimulator(id_bits=id_bits_for(graph.n))
+    nodes: Dict[NodeId, PointerJumpNode] = {}
+    for node_id in graph.nodes:
+        node = PointerJumpNode(
+            node_id,
+            graph.successors(node_id),
+            random.Random(master.randrange(2**62)),
+        )
+        nodes[node_id] = node
+        sim.add_node(node)
+
+    from repro.graphs.components import weakly_connected_components
+
+    goal = {
+        node_id: frozenset(component) - {node_id}
+        for component in weakly_connected_components(graph)
+        for node_id in component
+    }
+
+    def complete() -> bool:
+        return all(nodes[node_id].neighbors >= goal[node_id] for node_id in goal)
+
+    while not complete():
+        sim.step_round()
+        if sim.rounds >= max_rounds:
+            raise PointerJumpDiverged(
+                f"no completeness within {max_rounds} rounds "
+                "(expected on non-strongly-connected graphs)"
+            )
+
+    leader_of = {
+        node_id: max(node.neighbors | {node_id}) for node_id, node in nodes.items()
+    }
+    leaders = sorted(set(leader_of.values()), key=repr)
+    knowledge = {
+        leader: frozenset(nodes[leader].neighbors | {leader}) for leader in leaders
+    }
+    return BaselineResult(
+        name="pointer-jump",
+        n=graph.n,
+        n_edges=graph.n_edges,
+        rounds=sim.rounds,
+        stats=sim.stats.snapshot(),
+        leaders=leaders,
+        leader_of=leader_of,
+        knowledge=knowledge,
+    )

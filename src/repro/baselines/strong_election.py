@@ -1,0 +1,141 @@
+"""O(n)-message leader election on *strongly connected* knowledge graphs.
+
+Section 1 of the paper observes that on strongly connected networks the
+O(n) message complexity leader election of Cidon, Gopal and Kutten [1] can
+solve Resource Discovery with ``O(n)`` messages total.  This module
+realises that observation (documented substitution, DESIGN.md section 4)
+with the knowledge-graph-native traversal:
+
+a single token walks the graph carrying the set of visited ids and the
+pool of discovered ids.  Because ids are addresses, the token can jump
+*directly* to any discovered-but-unvisited node -- no backtracking, so
+exactly ``n - 1`` token hops visit everyone reachable through the knowledge
+closure (everyone, by strong connectivity).  The final holder elects the
+maximum id and sends one announcement to each other node: ``2(n - 1)``
+messages total.
+
+The message count is the point of the observation; like the token
+traversals in [1], the token payload makes the *bit* complexity high
+(``O(n^2 log n)``), which is fine -- the comparison row (EXP-13) reports
+both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Hashable, List, Optional, Set, Tuple
+
+from repro.baselines.common import BaselineResult
+from repro.core.runner import id_bits_for
+from repro.graphs.components import is_strongly_connected
+from repro.graphs.knowledge_graph import KnowledgeGraph
+from repro.sim.network import SimNode, Simulator
+from repro.sim.trace import bits_for_ids
+
+NodeId = Hashable
+
+__all__ = ["run_strong_election", "TraversalNode"]
+
+
+@dataclass(frozen=True)
+class Token:
+    """The traversal token: visited ids and the discovered-id pool."""
+
+    visited: FrozenSet[NodeId]
+    pool: FrozenSet[NodeId]
+    msg_type = "token"
+
+    def bit_size(self, id_bits: int) -> int:
+        return bits_for_ids(len(self.visited) + len(self.pool), id_bits)
+
+
+@dataclass(frozen=True)
+class Elected:
+    """The completion broadcast naming the elected leader."""
+
+    leader: NodeId
+    ids: FrozenSet[NodeId]
+    msg_type = "elected"
+
+    def bit_size(self, id_bits: int) -> int:
+        return bits_for_ids(1 + len(self.ids), id_bits)
+
+
+class TraversalNode(SimNode):
+    """One participant of the token-traversal election."""
+
+    def __init__(self, node_id: NodeId, initial: FrozenSet[NodeId]) -> None:
+        super().__init__(node_id)
+        self.local = frozenset(initial) - {node_id}
+        self.leader: Optional[NodeId] = None
+        self.known: FrozenSet[NodeId] = frozenset()
+        self.initiator = False
+
+    def on_wake(self) -> None:
+        if self.leader is not None or not self.initiator:
+            return
+        self._advance(
+            Token(visited=frozenset(), pool=frozenset({self.node_id}))
+        )
+
+    def on_message(self, sender: NodeId, message) -> None:
+        if message.msg_type == "token":
+            self._advance(message)
+            return
+        if message.msg_type == "elected":
+            self.leader = message.leader
+            self.known = message.ids
+            return
+        raise ValueError(f"unexpected message {message!r}")
+
+    def _advance(self, token: Token) -> None:
+        visited = token.visited | {self.node_id}
+        pool = token.pool | self.local | {self.node_id}
+        unvisited = pool - visited
+        if unvisited:
+            self.send(min(unvisited, key=repr), Token(visited, pool))
+            return
+        # Traversal complete: this node holds full knowledge of the closure.
+        leader = max(pool)
+        self.leader = leader
+        self.known = frozenset(pool)
+        for other in sorted(pool - {self.node_id}, key=repr):
+            self.send(other, Elected(leader, frozenset(pool)))
+
+
+def run_strong_election(
+    graph: KnowledgeGraph,
+    *,
+    initiator: Optional[NodeId] = None,
+    max_steps: Optional[int] = None,
+) -> BaselineResult:
+    """Run the single-initiator traversal election on a strongly connected
+    graph (raises if the graph is not strongly connected)."""
+    if not is_strongly_connected(graph):
+        raise ValueError("strong election requires a strongly connected graph")
+    sim = Simulator(id_bits=id_bits_for(graph.n))
+    nodes: Dict[NodeId, TraversalNode] = {}
+    for node_id in graph.nodes:
+        node = TraversalNode(node_id, graph.successors(node_id))
+        nodes[node_id] = node
+        sim.add_node(node)
+    start = initiator if initiator is not None else graph.nodes[0]
+    nodes[start].initiator = True
+    sim.schedule_wake(start)
+    sim.run(max_steps if max_steps is not None else 100 + 10 * graph.n)
+
+    leader_of = {node_id: node.leader for node_id, node in nodes.items()}
+    if any(leader is None for leader in leader_of.values()):
+        raise RuntimeError("election did not reach every node")
+    leaders = sorted(set(leader_of.values()), key=repr)
+    knowledge = {leader: nodes[leader].known for leader in leaders}
+    return BaselineResult(
+        name="strong-election",
+        n=graph.n,
+        n_edges=graph.n_edges,
+        rounds=sim.steps,
+        stats=sim.stats.snapshot(),
+        leaders=leaders,
+        leader_of=leader_of,
+        knowledge=knowledge,
+    )

@@ -1,0 +1,97 @@
+"""Swamping: the second algorithm analysed by Harchol-Balter, Leighton and
+Lewin (reference [2] of the paper).
+
+Each synchronous round, every machine contacts *all* of its current
+neighbours and the two machines exchange complete neighbour sets (the
+graph is "swamped").  Connectivity doubles in hops per round, so the
+network converges to a complete graph on each weak component in
+``O(log n)`` rounds -- the fastest of [2]'s algorithms -- but the exchange
+with every neighbour every round costs ``Theta(n^2)`` messages and up to
+``O(n^3 log n)`` bits once components get dense.  EXP-11b reports it next
+to Name-Dropper to reproduce [2]'s time-vs-traffic trade-off.
+
+Mechanically: sending our set to every neighbour *is* the exchange (the
+reverse direction arrives because the contacted machine learns us and, the
+graph having become bidirectional, sends back on its own turn).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, Hashable, List, Set, Tuple
+
+from repro.baselines.common import BaselineResult, IdSetMessage
+from repro.core.runner import id_bits_for
+from repro.graphs.components import weakly_connected_components
+from repro.graphs.knowledge_graph import KnowledgeGraph
+from repro.sync.engine import RoundLimitExceeded, SyncNode, SyncSimulator
+
+NodeId = Hashable
+
+__all__ = ["run_swamping", "SwampingNode"]
+
+
+class SwampingNode(SyncNode):
+    """One swamping machine: full exchange with every neighbour, every
+    round, until nothing new arrives anywhere."""
+
+    def __init__(self, node_id: NodeId, initial: FrozenSet[NodeId]) -> None:
+        super().__init__(node_id)
+        self.neighbors: Set[NodeId] = set(initial) - {node_id}
+
+    def on_round(
+        self, round_no: int, inbox: List[Tuple[NodeId, Any]]
+    ) -> List[Tuple[NodeId, Any]]:
+        for sender, message in inbox:
+            self.neighbors |= (set(message.ids) | {sender}) - {self.node_id}
+        if not self.neighbors:
+            return []
+        # The defining move: swamp every current neighbour every round,
+        # whether or not anything changed (flooding, by contrast, only
+        # pushes on growth).  Termination is the runner's omniscient
+        # completeness check, mirroring [2]'s known-n round budget.
+        payload = IdSetMessage(
+            frozenset(self.neighbors | {self.node_id}), msg_type="swamp"
+        )
+        return [(peer, payload) for peer in sorted(self.neighbors, key=repr)]
+
+
+def run_swamping(graph: KnowledgeGraph, *, max_rounds: int = 10_000) -> BaselineResult:
+    """Run swamping until every node knows its whole component."""
+    sim = SyncSimulator(id_bits=id_bits_for(graph.n))
+    nodes: Dict[NodeId, SwampingNode] = {}
+    for node_id in graph.nodes:
+        node = SwampingNode(node_id, graph.successors(node_id))
+        nodes[node_id] = node
+        sim.add_node(node)
+
+    goal = {
+        node_id: frozenset(component) - {node_id}
+        for component in weakly_connected_components(graph)
+        for node_id in component
+    }
+
+    def complete() -> bool:
+        return all(nodes[node_id].neighbors >= goal[node_id] for node_id in goal)
+
+    while not complete():
+        sim.step_round()
+        if sim.rounds >= max_rounds:
+            raise RoundLimitExceeded(f"swamping: no completeness in {max_rounds} rounds")
+
+    leader_of = {
+        node_id: max(node.neighbors | {node_id}) for node_id, node in nodes.items()
+    }
+    leaders = sorted(set(leader_of.values()), key=repr)
+    knowledge = {
+        leader: frozenset(nodes[leader].neighbors | {leader}) for leader in leaders
+    }
+    return BaselineResult(
+        name="swamping",
+        n=graph.n,
+        n_edges=graph.n_edges,
+        rounds=sim.rounds,
+        stats=sim.stats.snapshot(),
+        leaders=leaders,
+        leader_of=leader_of,
+        knowledge=knowledge,
+    )

@@ -1,0 +1,346 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``run``           run one discovery algorithm on a generated graph and
+                  print the outcome, accounting, and verification report
+``experiments``   regenerate experiment tables (all, or a named subset),
+                  optionally at reduced "quick" sizes
+``compare``       the Section 1.1 baseline comparison table
+``lower-bound``   the Theorem 1 adversary on T(height)
+``families``      list the available graph families
+
+Everything the CLI prints comes from the same experiment runners the
+benchmarks use, so numbers match ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.experiments import (
+    GRAPH_FAMILIES,
+    build_family,
+    exp_adhoc_probes,
+    exp_baseline_comparison,
+    exp_bit_complexity,
+    exp_dynamic_additions,
+    exp_generic_scaling,
+    exp_hbl_algorithms,
+    exp_kp_bit_improvement,
+    exp_message_lemmas,
+    exp_near_linear_scaling,
+    exp_sequential_unionfind,
+    exp_strongly_connected,
+    exp_time_complexity,
+    exp_tree_lower_bound,
+    exp_unionfind_reduction,
+)
+from repro.analysis.tables import render_table
+from repro.core.adhoc import run_adhoc
+from repro.core.bounded import run_bounded
+from repro.core.generic import run_generic
+from repro.lowerbounds.tree_adversary import run_tree_lower_bound
+from repro.sim.scheduler import GlobalFifoScheduler, LifoScheduler, RandomScheduler
+from repro.sim.timed import TimedScheduler
+from repro.verification.invariants import verify_discovery
+from repro.verification.lemmas import check_all_lemmas
+
+__all__ = ["main"]
+
+#: name -> (runner at full size, runner at quick size)
+EXPERIMENTS: Dict[str, Tuple[Callable, Callable]] = {
+    "EXP-1": (
+        lambda: exp_tree_lower_bound(heights=(3, 4, 5, 6, 7, 8, 9, 10)),
+        lambda: exp_tree_lower_bound(heights=(3, 5, 7)),
+    ),
+    "EXP-2": (
+        lambda: exp_unionfind_reduction(ns=(16, 32, 64, 128, 256)),
+        lambda: exp_unionfind_reduction(ns=(16, 32)),
+    ),
+    "EXP-3": (
+        lambda: exp_generic_scaling(ns=(64, 128, 256, 512, 1024)),
+        lambda: exp_generic_scaling(ns=(32, 64)),
+    ),
+    "EXP-4": (
+        lambda: exp_near_linear_scaling(ns=(64, 128, 256, 512, 1024)),
+        lambda: exp_near_linear_scaling(ns=(32, 64)),
+    ),
+    "EXP-5": (
+        lambda: exp_bit_complexity(ns=(64, 128, 256, 512)),
+        lambda: exp_bit_complexity(ns=(32, 64)),
+    ),
+    "EXP-6-9": (
+        lambda: exp_message_lemmas(ns=(64, 256, 1024)),
+        lambda: exp_message_lemmas(ns=(32,)),
+    ),
+    "EXP-10": (
+        lambda: exp_dynamic_additions(n_initial=256, n_new=128, links_new=128),
+        lambda: exp_dynamic_additions(n_initial=32, n_new=8, links_new=8),
+    ),
+    "EXP-11": (
+        lambda: exp_baseline_comparison(n=512),
+        lambda: exp_baseline_comparison(n=64),
+    ),
+    "EXP-12": (
+        lambda: exp_adhoc_probes(n=512, probes=2048),
+        lambda: exp_adhoc_probes(n=64, probes=64),
+    ),
+    "EXP-13": (
+        lambda: exp_strongly_connected(ns=(64, 128, 256, 512, 1024)),
+        lambda: exp_strongly_connected(ns=(32, 64)),
+    ),
+    "EXP-14": (
+        lambda: exp_sequential_unionfind(ns=(256, 1024, 4096, 16384)),
+        lambda: exp_sequential_unionfind(ns=(64, 256)),
+    ),
+    "EXP-15": (
+        lambda: exp_time_complexity(ns=(64, 128, 256, 512)),
+        lambda: exp_time_complexity(ns=(32, 64)),
+    ),
+    "EXP-17": (
+        lambda: exp_hbl_algorithms(ns=(32, 64, 128, 256)),
+        lambda: exp_hbl_algorithms(ns=(16, 32)),
+    ),
+    "EXP-18": (
+        lambda: exp_kp_bit_improvement(ns=(128, 256, 512, 1024, 2048)),
+        lambda: exp_kp_bit_improvement(ns=(64, 128)),
+    ),
+}
+
+_RUNNERS = {"generic": run_generic, "bounded": run_bounded, "adhoc": run_adhoc}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Asynchronous Resource Discovery (Abraham & Dolev, PODC 2003) "
+            "-- reproduction toolkit"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run one discovery algorithm")
+    run_p.add_argument("--variant", choices=sorted(_RUNNERS), default="generic")
+    run_p.add_argument("--family", choices=sorted(GRAPH_FAMILIES), default="sparse-random")
+    run_p.add_argument("--n", type=int, default=128)
+    run_p.add_argument(
+        "--graph-file",
+        help="load the graph from an edge-list/.json file instead of "
+        "generating one (overrides --family/--n)",
+    )
+    run_p.add_argument("--seed", type=int, default=0)
+    run_p.add_argument(
+        "--scheduler",
+        choices=("fifo", "lifo", "random", "timed"),
+        default="random",
+        help="message delivery order (default: seeded random)",
+    )
+    run_p.add_argument(
+        "--channels",
+        choices=("fifo", "random"),
+        default="fifo",
+        help="channel delivery discipline (random = the ABL-3 reorder ablation)",
+    )
+    run_p.add_argument(
+        "--greedy-queries",
+        action="store_true",
+        help="ablation: disable Section 4.1's query balancing (generic only)",
+    )
+
+    exp_p = sub.add_parser("experiments", help="regenerate experiment tables")
+    exp_p.add_argument(
+        "names",
+        nargs="*",
+        metavar="EXP",
+        help=f"subset to run (default: all of {', '.join(sorted(EXPERIMENTS))})",
+    )
+    exp_p.add_argument("--quick", action="store_true", help="reduced sizes")
+
+    cmp_p = sub.add_parser("compare", help="baseline comparison table")
+    cmp_p.add_argument("--n", type=int, default=256)
+    cmp_p.add_argument("--seed", type=int, default=3)
+
+    lb_p = sub.add_parser("lower-bound", help="Theorem 1 adversary on T(height)")
+    lb_p.add_argument("--height", type=int, default=8)
+
+    sub.add_parser("families", help="list graph families")
+
+    prof_p = sub.add_parser(
+        "profile", help="phase / depth / traffic profile of one execution"
+    )
+    prof_p.add_argument("--variant", choices=sorted(_RUNNERS), default="generic")
+    prof_p.add_argument("--family", choices=sorted(GRAPH_FAMILIES), default="dense-random")
+    prof_p.add_argument("--n", type=int, default=256)
+    prof_p.add_argument("--seed", type=int, default=0)
+
+    rep_p = sub.add_parser("report", help="regenerate the full experiment report")
+    rep_p.add_argument("--out", help="write to this file instead of stdout")
+    rep_p.add_argument("--quick", action="store_true", help="reduced sizes")
+    rep_p.add_argument("names", nargs="*", metavar="EXP", help="subset of sections")
+    return parser
+
+
+def _make_scheduler(name: str, seed: int):
+    if name == "fifo":
+        return GlobalFifoScheduler()
+    if name == "lifo":
+        return LifoScheduler()
+    if name == "timed":
+        return TimedScheduler()
+    return RandomScheduler(seed)
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    if args.graph_file:
+        from repro.graphs.io import load_graph
+
+        graph = load_graph(args.graph_file)
+    else:
+        graph = build_family(args.family, args.n, seed=args.seed)
+    scheduler = _make_scheduler(args.scheduler, args.seed)
+    kwargs = {"scheduler": scheduler}
+    if args.channels != "fifo":
+        # Route through build_simulation directly for the channel ablation.
+        from repro.core.result import collect_result
+        from repro.core.runner import build_simulation
+
+        sim, nodes = build_simulation(
+            graph,
+            args.variant,
+            scheduler=scheduler,
+            channel_discipline=args.channels,
+            channel_seed=args.seed,
+        )
+        sim.run()
+        result = collect_result(graph, nodes, sim, args.variant)
+        report = verify_discovery(result, graph)
+        print(result.summary())
+        print(f"(channel discipline: {args.channels})")
+        print(f"verified: {report}")
+        return 0
+    if args.greedy_queries:
+        if args.variant != "generic":
+            print("--greedy-queries only applies to the generic variant", file=sys.stderr)
+            return 2
+        kwargs["greedy_queries"] = True
+    result = _RUNNERS[args.variant](graph, **kwargs)
+    report = verify_discovery(result, graph)
+    print(result.summary())
+    if isinstance(scheduler, TimedScheduler):
+        print(f"completion time: {scheduler.now:g} (unit message latency)")
+    print("\nmessages by type:")
+    for msg_type in sorted(result.stats.messages_by_type):
+        print(
+            f"  {msg_type:<12} {result.stats.messages_by_type[msg_type]:>8}  "
+            f"({result.stats.bits_by_type[msg_type]:,} bits)"
+        )
+    print("\ncomplexity bounds:")
+    for check in check_all_lemmas(result.stats, graph.n, graph.n_edges, result.variant):
+        print(f"  {check}")
+    print(f"\nverified: {report}")
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    names = args.names or sorted(EXPERIMENTS)
+    unknown = [name for name in names if name not in EXPERIMENTS]
+    if unknown:
+        print(
+            f"unknown experiment(s): {', '.join(unknown)}; "
+            f"choose from {', '.join(sorted(EXPERIMENTS))}",
+            file=sys.stderr,
+        )
+        return 2
+    for name in names:
+        full, quick = EXPERIMENTS[name]
+        headers, rows = (quick if args.quick else full)()
+        print(f"\n=== {name} ===")
+        print(render_table(headers, rows))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    headers, rows = exp_baseline_comparison(n=args.n, seed=args.seed)
+    print(render_table(headers, rows))
+    return 0
+
+
+def _cmd_lower_bound(args: argparse.Namespace) -> int:
+    outcome = run_tree_lower_bound(args.height)
+    print(outcome.summary())
+    print("floor holds" if outcome.respects_floor else "FLOOR VIOLATED")
+    return 0 if outcome.respects_floor else 1
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.analysis.protocol_stats import profile_execution
+    from repro.core.runner import build_simulation
+
+    graph = build_family(args.family, args.n, seed=args.seed)
+    sim, nodes = build_simulation(graph, args.variant, seed=args.seed)
+    sim.run()
+    profile = profile_execution(nodes, sim.stats)
+    print(profile.summary())
+    print("\nphase histogram (final phase -> nodes):")
+    for phase, count in sorted(profile.phase_histogram.items()):
+        print(f"  {phase:>3}: {count}")
+    print("\npointer-depth histogram (hops to leader -> nodes):")
+    for depth, count in sorted(profile.depth_histogram.items()):
+        print(f"  {depth:>3}: {count}")
+    print("\ntraffic mix (messages / bits):")
+    for msg_type in profile.message_share:
+        print(
+            f"  {msg_type:<12} {profile.message_share[msg_type]:>6.1%}  /  "
+            f"{profile.bit_share.get(msg_type, 0):>6.1%}"
+        )
+    if not profile.phase_bound_holds:
+        print("\nWARNING: phase bound exceeded (protocol bug)")
+        return 1
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.report import build_report
+
+    try:
+        text = build_report(quick=args.quick, only=args.names or None)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if args.out:
+        import pathlib
+
+        pathlib.Path(args.out).write_text(text)
+        print(f"wrote {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_families(_args: argparse.Namespace) -> int:
+    for name in sorted(GRAPH_FAMILIES):
+        example = build_family(name, 64, seed=0)
+        print(f"  {name:<16} e.g. n={example.n:<5} |E0|={example.n_edges}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    handler = {
+        "run": _cmd_run,
+        "experiments": _cmd_experiments,
+        "compare": _cmd_compare,
+        "lower-bound": _cmd_lower_bound,
+        "families": _cmd_families,
+        "profile": _cmd_profile,
+        "report": _cmd_report,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,59 @@
+"""The paper's algorithms: the Generic (Oblivious) algorithm and its
+Bounded and Ad-hoc variants (Section 4)."""
+
+from repro.core.adhoc import AdhocNetwork, run_adhoc
+from repro.core.bounded import run_bounded
+from repro.core.dynamic import ChurnOutcome, ChurnScenario, EventCost, random_churn
+from repro.core.generic import run_generic
+from repro.core.messages import (
+    ABORT,
+    MERGE,
+    Conquer,
+    Info,
+    MergeAccept,
+    MergeFail,
+    MoreDone,
+    Probe,
+    ProbeReply,
+    Query,
+    QueryReply,
+    Release,
+    Search,
+)
+from repro.core.node import LEADER_STATES, VARIANTS, DiscoveryNode, ProtocolError
+from repro.core.result import DiscoveryResult, collect_result, resolve_leader
+from repro.core.runner import build_simulation, default_step_budget, id_bits_for
+
+__all__ = [
+    "run_generic",
+    "run_bounded",
+    "run_adhoc",
+    "AdhocNetwork",
+    "ChurnScenario",
+    "ChurnOutcome",
+    "EventCost",
+    "random_churn",
+    "DiscoveryNode",
+    "DiscoveryResult",
+    "ProtocolError",
+    "LEADER_STATES",
+    "VARIANTS",
+    "collect_result",
+    "resolve_leader",
+    "build_simulation",
+    "default_step_budget",
+    "id_bits_for",
+    "Query",
+    "QueryReply",
+    "Search",
+    "Release",
+    "MergeAccept",
+    "MergeFail",
+    "Info",
+    "Conquer",
+    "MoreDone",
+    "Probe",
+    "ProbeReply",
+    "MERGE",
+    "ABORT",
+]

@@ -1,0 +1,158 @@
+"""Ad-hoc Resource Discovery (Sections 4.5.2 and 6, Theorems 2, 6, 8).
+
+The Ad-hoc relaxation keeps properties (1), (2) and (4) of the problem but
+replaces "every node knows its leader's id" with "every non-leader has a
+pointer, and the pointers induce a directed path to its leader" (3a/3b).
+Leaders therefore never broadcast ``conquer`` messages, which is what drops
+the message complexity to the optimal ``Theta(n alpha(n, n))``.
+
+Nodes that want the current id snapshot *probe* their leader: a ``probe``
+message follows the ``next`` pointers and the reply path-compresses them,
+giving the amortized ``O((m + n) alpha(m, n))`` bound for ``m`` probes.
+
+:class:`AdhocNetwork` is the long-lived handle exposing the Section 6
+dynamic operations -- late node arrivals and online link additions -- on a
+running system.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, Iterable, Optional, Sequence, Tuple
+
+from repro.core.node import DiscoveryNode
+from repro.core.result import DiscoveryResult, collect_result
+from repro.core.runner import build_simulation, default_step_budget, id_bits_for
+from repro.graphs.knowledge_graph import KnowledgeGraph
+from repro.sim.network import Simulator
+from repro.sim.scheduler import Scheduler
+from repro.sim.trace import MessageStats
+
+NodeId = Hashable
+
+__all__ = ["AdhocNetwork", "run_adhoc"]
+
+
+class AdhocNetwork:
+    """A running Ad-hoc Resource Discovery system.
+
+    Wraps the simulator, the protocol nodes, and the (growing) knowledge
+    graph.  All mutating operations leave messages pending; call
+    :meth:`run` (or use the convenience methods that do it for you) to
+    drive the system back to quiescence.
+    """
+
+    def __init__(
+        self,
+        graph: KnowledgeGraph,
+        *,
+        seed: Optional[int] = None,
+        scheduler: Optional[Scheduler] = None,
+        keep_trace: bool = False,
+        wake_order: Optional[Sequence[NodeId]] = None,
+        auto_wake: bool = True,
+    ) -> None:
+        self.graph = graph.copy()
+        self.sim, self.nodes = build_simulation(
+            self.graph,
+            "adhoc",
+            seed=seed,
+            scheduler=scheduler,
+            keep_trace=keep_trace,
+            wake_order=wake_order,
+            auto_wake=auto_wake,
+        )
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, max_steps: Optional[int] = None) -> int:
+        """Run to quiescence; return the number of steps executed."""
+        budget = max_steps if max_steps is not None else default_step_budget(self.graph)
+        return self.sim.run(budget)
+
+    def wake(self, node_id: NodeId) -> None:
+        """Schedule a spontaneous wake-up (used with ``auto_wake=False``)."""
+        self.sim.schedule_wake(node_id)
+
+    @property
+    def stats(self) -> MessageStats:
+        return self.sim.stats
+
+    def result(self) -> DiscoveryResult:
+        """Snapshot the current (quiescent) state."""
+        return collect_result(self.graph, self.nodes, self.sim, "adhoc")
+
+    # ------------------------------------------------------------------
+    # Probes (Section 4.5.2)
+    # ------------------------------------------------------------------
+    def probe(self, node_id: NodeId) -> Tuple[NodeId, FrozenSet[NodeId]]:
+        """Ask ``node_id`` for its component's current id snapshot.
+
+        Returns ``(leader_id, ids)``.  Runs the system to quiescence so the
+        probe (and any discovery work still in flight) completes.
+        """
+        node = self.nodes[node_id]
+        immediate = node.initiate_probe()
+        if immediate is not None:
+            return immediate
+        self.run()
+        if not node.probe_results:
+            raise RuntimeError(f"probe from {node_id!r} produced no reply")
+        return node.probe_results[-1]
+
+    # ------------------------------------------------------------------
+    # Dynamic additions (Section 6)
+    # ------------------------------------------------------------------
+    def add_node(self, node_id: NodeId, known: Iterable[NodeId] = ()) -> None:
+        """A new node joins, initially knowing the ids in ``known``.
+
+        Per Section 6 "there is no difference between a node joining the
+        system at a certain time and a node that wakes up at that time":
+        the node is created asleep with ``known`` as its local set and a
+        spontaneous wake-up is scheduled.
+        """
+        known = list(known)
+        for other in known:
+            if other not in self.graph:
+                raise KeyError(f"new node {node_id!r} cannot know unknown {other!r}")
+        self.graph.add_node(node_id)
+        for other in known:
+            self.graph.add_edge(node_id, other)
+        node = DiscoveryNode(node_id, frozenset(known), variant="adhoc")
+        self.nodes[node_id] = node
+        self.sim.add_node(node)
+        self.sim.schedule_wake(node_id)
+
+    def add_link(self, u: NodeId, v: NodeId) -> None:
+        """A new knowledge edge ``u -> v`` appears at runtime.
+
+        Section 6's two cases are handled inside the node: an unreported
+        edge just joins ``u.local``; a node that had already reported
+        everything notifies its leader with a phase-0 flagged search.
+        """
+        if u not in self.graph or v not in self.graph:
+            raise KeyError(f"add_link endpoints must exist: {u!r} -> {v!r}")
+        if not self.graph.add_edge(u, v):
+            return  # already in E (or a self-loop): not a new edge, no event
+        self.nodes[u].notify_new_link(v)
+
+
+def run_adhoc(
+    graph: KnowledgeGraph,
+    *,
+    seed: Optional[int] = None,
+    scheduler: Optional[Scheduler] = None,
+    wake_order: Optional[Sequence[NodeId]] = None,
+    keep_trace: bool = False,
+    max_steps: Optional[int] = None,
+) -> DiscoveryResult:
+    """One-shot Ad-hoc run to quiescence (no dynamic operations)."""
+    network = AdhocNetwork(
+        graph,
+        seed=seed,
+        scheduler=scheduler,
+        keep_trace=keep_trace,
+        wake_order=wake_order,
+    )
+    network.run(max_steps)
+    return network.result()

@@ -1,0 +1,67 @@
+"""The Generic (Oblivious) algorithm runner (Section 4, Theorems 3, 5, 7).
+
+The Oblivious model: component sizes are unknown, the graph need only be
+weakly connected (per component), and the algorithm cannot detect
+termination -- it reaches the problem definition's steady state instead,
+which the simulator observes as quiescence.
+
+Guarantees validated after every run (see :mod:`repro.verification`):
+exactly one leader per weakly connected component, the leader knows every
+id in its component, every non-leader's ``next`` pointer names its leader;
+``O(n log n)`` messages and ``O(|E0| log n + n log^2 n)`` bits.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional, Sequence
+
+from repro.core.result import DiscoveryResult, collect_result
+from repro.core.runner import build_simulation, default_step_budget
+from repro.graphs.knowledge_graph import KnowledgeGraph
+from repro.sim.scheduler import Scheduler
+
+__all__ = ["run_generic"]
+
+
+def run_generic(
+    graph: KnowledgeGraph,
+    *,
+    seed: Optional[int] = None,
+    scheduler: Optional[Scheduler] = None,
+    wake_order: Optional[Sequence[Hashable]] = None,
+    keep_trace: bool = False,
+    max_steps: Optional[int] = None,
+    greedy_queries: bool = False,
+) -> DiscoveryResult:
+    """Run the Generic algorithm on ``graph`` until quiescence.
+
+    Parameters
+    ----------
+    graph:
+        The initial knowledge graph ``(V, E0)``.
+    seed:
+        Use a seeded uniformly-random delivery schedule (ignored when
+        ``scheduler`` is given; default is deterministic global-FIFO).
+    scheduler:
+        Explicit scheduling policy, e.g. an adversarial one.
+    wake_order:
+        Spontaneous wake-up order (default: graph node order).
+    keep_trace:
+        Record the full execution trace on the simulator.
+    max_steps:
+        Step budget; defaults to a generous bound derived from the graph.
+    greedy_queries:
+        Ablation: disable Section 4.1's query balancing (see
+        :class:`~repro.core.node.DiscoveryNode`).
+    """
+    sim, nodes = build_simulation(
+        graph,
+        "generic",
+        seed=seed,
+        scheduler=scheduler,
+        keep_trace=keep_trace,
+        wake_order=wake_order,
+        greedy_queries=greedy_queries,
+    )
+    sim.run(max_steps if max_steps is not None else default_step_budget(graph))
+    return collect_result(graph, nodes, sim, "generic")

@@ -1,0 +1,765 @@
+"""The Generic Algorithm's node state machine (Section 4, Figures 2-6).
+
+One :class:`DiscoveryNode` instance per system node, driven by the
+asynchronous simulator.  The paper's pseudocode is written as blocking
+loops (``wait for message`` / ``goto WAIT``); an event-driven transcription
+needs three interpretation rules, each documented where it bites:
+
+1. **Deferral.**  A pseudocode loop that pattern-matches only some message
+   types leaves the rest in the process's queue.  We replicate that with a
+   deferred list: a message the current state does not handle is parked and
+   replayed, in arrival order, whenever the (sub)state changes.
+
+2. **Idle wait resumes exploration.**  Section 4.1: "If both v.unexplored
+   and v.more are empty, the leader v waits until v.more becomes non-empty".
+   A leader waiting *without* an outstanding search therefore re-enters
+   EXPLORE as soon as an arriving search replenishes its sets; without this
+   rule the single-leader-knows-everything property (Lemma 5.4) fails on
+   e.g. a two-leader mutual-abort schedule.
+
+3. **Self-interactions are local.**  The leader's own id lives in its
+   ``more`` set; querying it is "simulated internally" (Section 4.1) and
+   costs no messages, matching the accounting of Lemmas 5.5-5.10.
+
+The class implements all three protocol variants (Section 4.5):
+
+* ``variant="generic"`` -- the Oblivious algorithm with the ``unaware`` set
+  and per-phase conquer broadcasts;
+* ``variant="bounded"`` -- no ``unaware``; the leader knows its component
+  size and terminates with one final conquer broadcast (Theorem 4);
+* ``variant="adhoc"`` -- no conquer broadcasts at all; ``next`` pointers
+  form the path to the leader (properties 3a/3b) and ``probe`` messages
+  fetch id snapshots with path compression (Section 4.5.2).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Any, Deque, Dict, FrozenSet, Hashable, List, Optional, Set, Tuple
+
+from repro.core.messages import (
+    ABORT,
+    MERGE,
+    Conquer,
+    Info,
+    MergeAccept,
+    MergeFail,
+    MoreDone,
+    Probe,
+    ProbeReply,
+    Query,
+    QueryReply,
+    Release,
+    Search,
+)
+from repro.sim.network import SimNode, SimulationError
+
+NodeId = Hashable
+
+__all__ = ["DiscoveryNode", "ProtocolError", "VARIANTS", "LEADER_STATES"]
+
+VARIANTS = ("generic", "bounded", "adhoc")
+
+#: Paper definition: "we call a node leader if its state is not conquered
+#: or inactive or passive".  ``terminated`` is the Bounded variant's final
+#: leader state (Theorem 4).
+LEADER_STATES = frozenset({"explore", "wait", "conqueror", "terminated"})
+
+#: Phase value reserved for Section 6 new-link notification searches; real
+#: leaders start at phase 1, so a phase-0 search loses every comparison and
+#: is always answered with an abort.
+NOTIFY_PHASE = 0
+
+
+class ProtocolError(SimulationError):
+    """A message arrived in a state the protocol proves impossible."""
+
+
+class DiscoveryNode(SimNode):
+    """One participant of the (Generic | Bounded | Ad-hoc) algorithm.
+
+    Parameters
+    ----------
+    node_id:
+        The node's unique id.  Ids within one system must be mutually
+        orderable (they break ties in the ``(phase, id)`` conquest rule).
+    initial_local:
+        The ids this node knows at start -- its out-neighbours in ``E0``.
+    variant:
+        ``"generic"``, ``"bounded"`` or ``"adhoc"``.
+    component_size:
+        Required for ``"bounded"``: the size of this node's weakly
+        connected component (the Bounded model's prior knowledge).
+    greedy_queries:
+        Ablation switch (off by default): ask queried members for *all*
+        their ids instead of the balanced ``|more| + |done| + 1`` of
+        Section 4.1.  Correct but forfeits the bit-complexity bound --
+        the trivial solution the paper contrasts against
+        (``O(|E0| log^2 n)`` bits).
+    """
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        initial_local: FrozenSet[NodeId],
+        *,
+        variant: str = "generic",
+        component_size: Optional[int] = None,
+        greedy_queries: bool = False,
+    ) -> None:
+        super().__init__(node_id)
+        if variant not in VARIANTS:
+            raise ValueError(f"variant must be one of {VARIANTS}, got {variant!r}")
+        if variant == "bounded" and (component_size is None or component_size < 1):
+            raise ValueError("bounded variant requires component_size >= 1")
+        self.variant = variant
+        self.component_size = component_size
+        self.greedy_queries = greedy_queries
+
+        # -- Figure 2 data structure --------------------------------------
+        self.status = "asleep"
+        self.local: Set[NodeId] = set(initial_local) - {node_id}
+        self.next: NodeId = node_id
+        self.phase = 1
+        self.done: Set[NodeId] = set()
+        self.more: Set[NodeId] = set()
+        self.unaware: Set[NodeId] = set()
+        self.unexplored: Set[NodeId] = set()
+        self.previous: Deque[Tuple[Search, NodeId]] = deque()
+
+        # -- event-driven bookkeeping -------------------------------------
+        self._inbox: Deque[Tuple[NodeId, Any]] = deque()
+        self._deferred: List[Tuple[NodeId, Any]] = []
+        self._processing = False
+        self._more_heap: List[Tuple[str, NodeId]] = []
+        self._unexplored_heap: List[Tuple[str, NodeId]] = []
+        #: substates of the paper's WAIT: with an outstanding search
+        #: (awaiting its release) or idle (Section 4.1's wait-for-work).
+        self._awaiting_release = False
+        #: id we sent a query to while in EXPLORE (None otherwise).
+        self._awaiting_query_from: Optional[NodeId] = None
+        #: conqueror substate: Info not yet received.
+        self._awaiting_info = False
+        #: set when this node is conquered while one of its own searches is
+        #: still outstanding; the eventual stale release must then feed the
+        #: releasing leader's id back into the pipeline (finding F2), and
+        #: only that one -- notification-search releases must not, or the
+        #: node would re-report its own leader forever.
+        self._expect_stale_release = False
+
+        # -- Ad-hoc probe machinery (Section 4.5.2) ------------------------
+        self.probe_previous: Deque[Tuple[Probe, NodeId]] = deque()
+        self.probe_results: List[Tuple[NodeId, FrozenSet[NodeId]]] = []
+        self._probe_outstanding = False
+
+        self._add_more(node_id)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def is_leader(self) -> bool:
+        return self.status in LEADER_STATES
+
+    @property
+    def knowledge(self) -> FrozenSet[NodeId]:
+        """All ids this node has gathered as a leader (its cluster)."""
+        return frozenset(self.more | self.done | self.unaware | {self.node_id})
+
+    def __repr__(self) -> str:
+        return (
+            f"DiscoveryNode({self.node_id!r}, status={self.status}, "
+            f"phase={self.phase}, |more|={len(self.more)}, "
+            f"|done|={len(self.done)}, |unaware|={len(self.unaware)})"
+        )
+
+    # ------------------------------------------------------------------
+    # Deterministic choice helpers (heaps keyed by repr: any fixed total
+    # order works -- the pseudocode says "choose any"; we need determinism
+    # for reproducible traces).
+    # ------------------------------------------------------------------
+    def _add_more(self, w: NodeId) -> None:
+        if w not in self.more:
+            self.more.add(w)
+            heapq.heappush(self._more_heap, (repr(w), w))
+
+    def _add_unexplored(self, u: NodeId) -> None:
+        if u not in self.unexplored:
+            self.unexplored.add(u)
+            heapq.heappush(self._unexplored_heap, (repr(u), u))
+
+    def _peek_more(self) -> Optional[NodeId]:
+        while self._more_heap:
+            _key, w = self._more_heap[0]
+            if w in self.more:
+                return w
+            heapq.heappop(self._more_heap)
+        return None
+
+    def _pop_unexplored(self) -> Optional[NodeId]:
+        """Pop the next genuinely-unexplored node.
+
+        Skips entries that joined the cluster after being recorded (the
+        merge rule only subtracts the conquered leader's members, so stale
+        ids can linger -- harmless as long as we skip them here; searching a
+        node of one's own tree would route the search back to its initiator).
+        """
+        while self._unexplored_heap:
+            _key, u = heapq.heappop(self._unexplored_heap)
+            if u not in self.unexplored:
+                continue
+            self.unexplored.discard(u)
+            if (
+                u == self.node_id
+                or u in self.more
+                or u in self.done
+                or u in self.unaware
+            ):
+                continue
+            return u
+        return None
+
+    def _move_done_to_more(self, w: NodeId) -> None:
+        self.done.discard(w)
+        self._add_more(w)
+
+    def _move_more_to_done(self, w: NodeId) -> None:
+        self.more.discard(w)
+        self.done.add(w)
+
+    # ------------------------------------------------------------------
+    # Simulator entry points
+    # ------------------------------------------------------------------
+    def on_wake(self) -> None:
+        self.status = "explore"
+        self._explore()
+        self._pump()
+
+    def on_message(self, sender: NodeId, message: Any) -> None:
+        self._inbox.append((sender, message))
+        self._pump()
+
+    def _pump(self) -> None:
+        """Process the inbox; replay deferred messages on substate change."""
+        if self._processing:
+            return
+        self._processing = True
+        try:
+            while self._inbox:
+                sender, message = self._inbox.popleft()
+                before = self._substate_token()
+                if not self._dispatch(sender, message):
+                    self._deferred.append((sender, message))
+                    continue
+                if self._deferred and self._substate_token() != before:
+                    self._inbox.extendleft(reversed(self._deferred))
+                    self._deferred.clear()
+        finally:
+            self._processing = False
+
+    def _substate_token(self) -> Tuple:
+        return (
+            self.status,
+            self._awaiting_release,
+            self._awaiting_query_from,
+            self._awaiting_info,
+        )
+
+    def _replay_deferred(self) -> None:
+        """Move deferred messages back into the inbox (state just changed
+        outside the pump loop, e.g. via a dynamic-addition entry point)."""
+        if self._deferred:
+            self._inbox.extendleft(reversed(self._deferred))
+            self._deferred.clear()
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def _dispatch(self, sender: NodeId, message: Any) -> bool:
+        """Handle one message; return False to defer it."""
+        msg_type = message.msg_type
+        if msg_type == "query":
+            return self._on_query(sender, message)
+        if msg_type == "query-reply":
+            return self._on_query_reply(sender, message)
+        if msg_type == "search":
+            return self._on_search(sender, message)
+        if msg_type == "release":
+            return self._on_release(sender, message)
+        if msg_type == "merge-accept":
+            return self._on_merge_accept(sender, message)
+        if msg_type == "merge-fail":
+            return self._on_merge_fail(sender, message)
+        if msg_type == "info":
+            return self._on_info(sender, message)
+        if msg_type == "conquer":
+            return self._on_conquer(sender, message)
+        if msg_type == "more-done":
+            return self._on_more_done(sender, message)
+        if msg_type == "probe":
+            return self._on_probe(sender, message)
+        if msg_type == "probe-reply":
+            return self._on_probe_reply(sender, message)
+        raise ProtocolError(f"{self.node_id!r}: unknown message type {msg_type!r}")
+
+    # ------------------------------------------------------------------
+    # EXPLORE (Figure 3)
+    # ------------------------------------------------------------------
+    def _explore(self) -> None:
+        """The Figure 3 loop: find an unexplored node or work the queue.
+
+        Leaves the node in exactly one of: WAIT with an outstanding search,
+        EXPLORE awaiting a query reply, idle WAIT, or (Bounded) terminated.
+        """
+        self.status = "explore"
+        while True:
+            if self.variant == "bounded" and len(self.done) == self.component_size:
+                # Theorem 4: the component size is known, so a full ``done``
+                # set is a sound termination signal.  Checked inside the
+                # loop because internal self-queries can complete it without
+                # any message arriving (e.g. an isolated node).
+                self._terminate_bounded()
+                return
+            target = self._pop_unexplored()
+            if target is not None:
+                self.status = "wait"
+                self._awaiting_release = True
+                self.send(target, Search(self.node_id, self.phase, target, False))
+                return
+            candidate = self._peek_more()
+            if candidate is None:
+                # Section 4.1: wait until ``more`` becomes non-empty.
+                self.status = "wait"
+                self._awaiting_release = False
+                return
+            if self.greedy_queries:
+                # Ablation: the trivial ask-for-everything strategy.
+                k = 1 << 62
+            else:
+                k = len(self.more) + len(self.done) + 1
+            if candidate == self.node_id:
+                # Internal simulation of the self-query (Section 4.1).
+                reply = self._answer_query_locally(k)
+                self._ingest_query_reply(candidate, reply)
+                continue
+            self._awaiting_query_from = candidate
+            self.send(candidate, Query(k))
+            return
+
+    def _answer_query_locally(self, k: int) -> QueryReply:
+        """Figure 5's query handling applied to our own ``local`` set."""
+        if len(self.local) <= k:
+            ids = frozenset(self.local)
+            self.local.clear()
+            return QueryReply(ids, True)
+        taken = frozenset(sorted(self.local, key=repr)[:k])
+        self.local -= taken
+        return QueryReply(taken, False)
+
+    def _ingest_query_reply(self, source: NodeId, reply: QueryReply) -> None:
+        if reply.done_flag and source in self.more:
+            self._move_more_to_done(source)
+        for fresh in reply.ids:
+            if fresh not in self.more and fresh not in self.done and fresh != self.node_id:
+                self._add_unexplored(fresh)
+
+    def _on_query_reply(self, sender: NodeId, message: QueryReply) -> bool:
+        if self.status != "explore" or self._awaiting_query_from != sender:
+            raise ProtocolError(
+                f"{self.node_id!r}: unexpected query-reply from {sender!r} "
+                f"in status {self.status}"
+            )
+        self._awaiting_query_from = None
+        self._ingest_query_reply(sender, message)
+        self._explore()
+        return True
+
+    # ------------------------------------------------------------------
+    # Query answering (Figure 5, inactive side)
+    # ------------------------------------------------------------------
+    def _on_query(self, sender: NodeId, message: Query) -> bool:
+        if self.status != "inactive":
+            raise ProtocolError(
+                f"{self.node_id!r}: query from {sender!r} in status {self.status}; "
+                "queries only ever reach inactive cluster members"
+            )
+        self.send(sender, self._answer_query_locally(message.k))
+        return True
+
+    # ------------------------------------------------------------------
+    # SEARCH (Figures 3, 4, 5)
+    # ------------------------------------------------------------------
+    def _on_search(self, sender: NodeId, message: Search) -> bool:
+        if self.status in ("explore", "conquered", "conqueror"):
+            # The pseudocode's EXPLORE / CONQUERED / CONQUEROR loops do not
+            # receive searches; they stay queued until the state changes.
+            return False
+        if self.status == "inactive":
+            self._route_search(sender, message)
+            return True
+        if self.status in ("wait", "passive"):
+            self._leader_on_search(sender, message)
+            return True
+        if self.status == "terminated":
+            # A search from a long-dead initiator can still be in flight
+            # when the Bounded leader terminates (it was parked in some
+            # previous queue during the final merges).  Conquest pairs are
+            # monotone along the lineage that absorbed the initiator, so
+            # the stale search always loses the comparison; answer abort.
+            message = self._absorb_search_target(message)
+            if (message.phase, message.initiator) > (self.phase, self.node_id):
+                raise ProtocolError(
+                    f"{self.node_id!r}: terminated leader outranked by search "
+                    f"from {message.initiator!r} -- termination was unsound"
+                )
+            self.send(
+                sender, Release(self.node_id, ABORT, message.initiator, self.phase)
+            )
+            return True
+        raise ProtocolError(
+            f"{self.node_id!r}: search in impossible status {self.status}"
+        )
+
+    def _route_search(self, sender: NodeId, message: Search) -> None:
+        """Figure 5: inactive nodes enqueue and forward searches."""
+        message = self._absorb_search_target(message)
+        self.previous.append((message, sender))
+        if len(self.previous) == 1:
+            self.send(self.next, message)
+
+    def _absorb_search_target(self, message: Search) -> Search:
+        """Section 4.2: a search's target learns the initiator's id.
+
+        Sets the ``new`` flag so the target's leader moves it from ``done``
+        back to ``more`` -- this is what eventually makes every traversed
+        edge bidirectional (the crux of Lemma 5.4).
+        """
+        if message.target == self.node_id and message.initiator not in self.local:
+            self.local.add(message.initiator)
+            return Search(message.initiator, message.phase, message.target, True)
+        return message
+
+    def _leader_on_search(self, sender: NodeId, message: Search) -> None:
+        """Figure 4: a waiting or passive leader decides merge vs abort."""
+        message = self._absorb_search_target(message)
+        if message.new and message.target in self.done:
+            self._move_done_to_more(message.target)
+        if (message.phase, message.initiator) > (self.phase, self.node_id):
+            self.send(
+                sender, Release(self.node_id, MERGE, message.initiator, self.phase)
+            )
+            if self.status == "wait" and self._awaiting_release:
+                self._expect_stale_release = True
+            self.status = "conquered"
+        else:
+            self.send(
+                sender, Release(self.node_id, ABORT, message.initiator, self.phase)
+            )
+            if (
+                self.status == "wait"
+                and not self._awaiting_release
+                and (self.unexplored or self._peek_more() is not None)
+            ):
+                # Interpretation rule 2: the idle waiter got new work.
+                self._explore()
+
+    # ------------------------------------------------------------------
+    # RELEASE (Figures 4, 5, 6)
+    # ------------------------------------------------------------------
+    def _on_release(self, sender: NodeId, message: Release) -> bool:
+        if message.initiator == self.node_id:
+            self._consume_own_release(message)
+            return True
+        if self.status == "inactive":
+            self._route_release(message)
+            return True
+        raise ProtocolError(
+            f"{self.node_id!r}: release for {message.initiator!r} in "
+            f"status {self.status}; only inactive nodes route releases"
+        )
+
+    def _consume_own_release(self, message: Release) -> None:
+        """The reply to a search this node initiated as a leader.
+
+        In every outcome except a successful merge the releasing leader's id
+        must be fed back into the reporting pipeline via
+        :meth:`_absorb_learned_id`.  The pseudocode omits this, but the
+        knowledge-graph model adds an edge for every received id and the
+        Lemma 5.4 proof relies on releases making traversed edges
+        bidirectional; without it a leader whose id was only ever carried by
+        release messages to already-dead initiators is lost forever and a
+        passive node survives quiescence (reproduction finding F2).
+        """
+        if self.status == "wait" and self._awaiting_release:
+            self._awaiting_release = False
+            if message.answer == ABORT:
+                # Figure 4: an aborted leader stops initiating searches.
+                self._absorb_learned_id(message.leader)
+                self.status = "passive"
+                return
+            # The reached leader asks to merge into us: become conqueror.
+            self.status = "conqueror"
+            self._awaiting_info = True
+            self.send(message.leader, MergeAccept())
+            return
+        if self.status in ("passive", "conquered", "inactive"):
+            # A stale reply to a search from our leader days (Figures 4-6):
+            # refuse merges, ignore aborts -- but keep the leader's id.
+            if message.answer == MERGE:
+                self.send(message.leader, MergeFail())
+            if self._expect_stale_release:
+                self._expect_stale_release = False
+                self._absorb_learned_id(message.leader)
+            return
+        raise ProtocolError(
+            f"{self.node_id!r}: own release ({message.answer}) in "
+            f"status {self.status} with awaiting_release={self._awaiting_release}"
+        )
+
+    def _route_release(self, message: Release) -> None:
+        """Figure 5: pop the oldest pending search, send the release back
+        along its path, path-compress, and launch the next pending search."""
+        if not self.previous:
+            raise ProtocolError(
+                f"{self.node_id!r}: release to route but previous queue empty"
+            )
+        _search, came_from = self.previous.popleft()
+        if message.phase >= self.phase:
+            # Path compression, phase-guarded (finding F3): never replace a
+            # newer leader's pointer with a stale one.
+            self.next = message.leader
+            self.phase = message.phase
+        self.send(came_from, message)
+        if self.previous:
+            pending_search, _y = self.previous[0]
+            self.send(self.next, pending_search)
+
+    # ------------------------------------------------------------------
+    # Merging (Figures 4, 6)
+    # ------------------------------------------------------------------
+    def _on_merge_accept(self, sender: NodeId, message: MergeAccept) -> bool:
+        if self.status != "conquered":
+            raise ProtocolError(
+                f"{self.node_id!r}: merge-accept in status {self.status}"
+            )
+        self.next = sender
+        self.send(
+            sender,
+            Info(
+                self.phase,
+                frozenset(self.more),
+                frozenset(self.done),
+                frozenset(self.unaware),
+                frozenset(self.unexplored),
+            ),
+        )
+        self.status = "inactive"
+        return True
+
+    def _on_merge_fail(self, sender: NodeId, message: MergeFail) -> bool:
+        if self.status != "conquered":
+            raise ProtocolError(
+                f"{self.node_id!r}: merge-fail in status {self.status}"
+            )
+        self.status = "passive"
+        return True
+
+    def _on_info(self, sender: NodeId, message: Info) -> bool:
+        if self.status != "conqueror" or not self._awaiting_info:
+            raise ProtocolError(f"{self.node_id!r}: info in status {self.status}")
+        self._awaiting_info = False
+        if self.variant == "generic":
+            self._merge_with_unaware(message)
+        else:
+            self._merge_direct(message)
+        return True
+
+    def _merge_with_unaware(self, info: Info) -> None:
+        """Figure 6: absorb the conquered leader's state, then conquer."""
+        newcomers = info.more | info.done | info.unaware
+        self.unaware |= newcomers
+        for u in info.unexplored:
+            if (
+                u not in self.unaware
+                and u not in self.more
+                and u not in self.done
+                and u != self.node_id
+            ):
+                self._add_unexplored(u)
+        cluster = len(self.more) + len(self.done) + len(self.unaware)
+        if self.phase == info.phase or cluster >= 2 ** (self.phase + 1):
+            self.phase += 1
+        for w in sorted(self.unaware, key=repr):
+            self.send(w, Conquer(self.node_id, self.phase))
+        if not self.unaware:  # unreachable in practice: info.more holds the sender
+            self._explore()
+
+    def _merge_direct(self, info: Info) -> None:
+        """Section 4.5: the variants merge sets without the unaware stage."""
+        for w in info.more:
+            if w in self.done:
+                # The conquered leader had fresher knowledge: w owes ids.
+                self._move_done_to_more(w)
+            else:
+                self._add_more(w)
+        for w in info.done:
+            if w not in self.more and w not in self.done:
+                self.done.add(w)
+        for u in info.unexplored:
+            if u not in self.more and u not in self.done and u != self.node_id:
+                self._add_unexplored(u)
+        cluster = len(self.more) + len(self.done)
+        if self.phase == info.phase or cluster >= 2 ** (self.phase + 1):
+            self.phase += 1
+        self._explore()
+
+    # ------------------------------------------------------------------
+    # Conquering (Figures 5, 6)
+    # ------------------------------------------------------------------
+    def _on_conquer(self, sender: NodeId, message: Conquer) -> bool:
+        if self.status != "inactive":
+            raise ProtocolError(
+                f"{self.node_id!r}: conquer in status {self.status}; "
+                "conquer messages only ever reach inactive nodes"
+            )
+        if message.phase >= self.phase:
+            self.next = message.leader
+            self.phase = message.phase
+        self.send(sender, MoreDone(has_more=bool(self.local)))
+        return True
+
+    def _on_more_done(self, sender: NodeId, message: MoreDone) -> bool:
+        if self.status == "terminated":
+            # Acknowledgements of the Bounded final broadcast (Lemma 5.8's
+            # 2n count includes them); nothing left to do with them.
+            return True
+        if self.status != "conqueror" or self._awaiting_info:
+            raise ProtocolError(
+                f"{self.node_id!r}: more-done in status {self.status}"
+            )
+        if sender not in self.unaware:
+            raise ProtocolError(
+                f"{self.node_id!r}: more-done from {sender!r} not in unaware"
+            )
+        self.unaware.discard(sender)
+        if message.has_more:
+            self._add_more(sender)
+        else:
+            self.done.add(sender)
+        if not self.unaware:
+            self._explore()
+        return True
+
+    def _terminate_bounded(self) -> None:
+        """Theorem 4: |done| reached the known component size -- finish."""
+        self.status = "terminated"
+        for w in sorted(self.done, key=repr):
+            if w != self.node_id:
+                self.send(w, Conquer(self.node_id, self.phase))
+
+    # ------------------------------------------------------------------
+    # Ad-hoc probes (Section 4.5.2)
+    # ------------------------------------------------------------------
+    def initiate_probe(self) -> Optional[Tuple[NodeId, FrozenSet[NodeId]]]:
+        """Request the current id snapshot of this node's component.
+
+        Leaders answer from their own state with zero messages; other nodes
+        send a ``probe`` along their ``next`` pointer, and the reply lands
+        in :attr:`probe_results` once the simulation quiesces.
+        """
+        if self.variant != "adhoc":
+            raise ProtocolError("probes are an Ad-hoc Resource Discovery feature")
+        if not self.awake:
+            raise ProtocolError(f"{self.node_id!r} is asleep; wake it before probing")
+        if self.is_leader:
+            return (self.node_id, self.knowledge)
+        if self._probe_outstanding:
+            raise ProtocolError(f"{self.node_id!r} already has a probe outstanding")
+        self._probe_outstanding = True
+        # Route through the normal inbox so passive/conquered nodes park the
+        # probe until they resolve to inactive (and thus have a real ``next``).
+        self._inbox.append((self.node_id, Probe(self.node_id)))
+        self._pump()
+        return None
+
+    def _on_probe(self, sender: NodeId, message: Probe) -> bool:
+        if message.initiator == self.node_id and self.status == "inactive":
+            # Our own probe (possibly deferred from a transient state):
+            # forward it without enqueueing -- its reply is consumed directly
+            # by initiator match, never popped from probe_previous.
+            self.send(self.next, message)
+            return True
+        if self.is_leader:
+            self.send(sender, ProbeReply(self.node_id, self.knowledge, message.initiator))
+            return True
+        if self.status == "inactive":
+            self.probe_previous.append((message, sender))
+            if len(self.probe_previous) == 1:
+                self.send(self.next, message)
+            return True
+        # Passive / conquered nodes resolve to inactive eventually; park it.
+        return False
+
+    def _on_probe_reply(self, sender: NodeId, message: ProbeReply) -> bool:
+        if message.initiator == self.node_id:
+            self.probe_results.append((message.leader, message.ids))
+            self._probe_outstanding = False
+            return True
+        if self.status != "inactive":
+            raise ProtocolError(
+                f"{self.node_id!r}: probe-reply to route in status {self.status}"
+            )
+        if not self.probe_previous:
+            raise ProtocolError(
+                f"{self.node_id!r}: probe-reply but probe queue empty"
+            )
+        _probe, came_from = self.probe_previous.popleft()
+        self.next = message.leader
+        self.send(came_from, message)
+        if self.probe_previous:
+            pending_probe, _y = self.probe_previous[0]
+            self.send(self.next, pending_probe)
+        return True
+
+    # ------------------------------------------------------------------
+    # Late-learned ids and dynamic additions (Section 6)
+    # ------------------------------------------------------------------
+    def _absorb_learned_id(self, other: NodeId) -> None:
+        """Feed a just-learned id back into the reporting pipeline.
+
+        Implements the knowledge-graph rule that a received id is a new
+        edge, with Section 6's two cases: an unreported node simply grows
+        its ``local`` set; a node that had already reported everything must
+        re-open itself at its leader -- inactive nodes via a phase-0
+        notification search with the ``new`` flag, ex-/current leaders by
+        moving their own entry from ``done`` back to ``more``.
+        """
+        if other == self.node_id or other in self.local:
+            return
+        if self.status == "inactive":
+            had_reported_all = not self.local
+            self.local.add(other)
+            if had_reported_all:
+                self.send(
+                    self.next,
+                    Search(self.node_id, NOTIFY_PHASE, self.node_id, True),
+                )
+            return
+        self.local.add(other)
+        if self.node_id in self.done:
+            self._move_done_to_more(self.node_id)
+
+    def notify_new_link(self, target: NodeId) -> None:
+        """A new knowledge edge ``self -> target`` appeared at runtime.
+
+        Section 6's dynamic-link operation; additionally revives an idle
+        waiting leader so the new edge gets explored without outside help.
+        """
+        self._absorb_learned_id(target)
+        if self.status == "wait" and not self._awaiting_release and (
+            self.unexplored or self._peek_more() is not None
+        ):
+            self._explore()
+            self._replay_deferred()
+        self._pump()

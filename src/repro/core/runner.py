@@ -1,0 +1,86 @@
+"""Shared machinery for setting up and driving discovery executions."""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Optional, Sequence
+
+from repro.core.node import DiscoveryNode
+from repro.graphs.components import weakly_connected_components
+from repro.graphs.knowledge_graph import KnowledgeGraph
+from repro.sim.network import Simulator
+from repro.sim.scheduler import GlobalFifoScheduler, RandomScheduler, Scheduler
+
+NodeId = Hashable
+
+__all__ = ["build_simulation", "default_step_budget", "id_bits_for"]
+
+
+def id_bits_for(n: int) -> int:
+    """Bits per id for an ``n``-node system: ``ceil(log2 n)``, min 1."""
+    if n <= 1:
+        return 1
+    return (n - 1).bit_length()
+
+
+def default_step_budget(graph: KnowledgeGraph) -> int:
+    """A generous step cap that still catches protocol livelocks.
+
+    The algorithms send ``O(n log n)`` protocol messages plus at most
+    ``O(|E0|)`` id reports, and every step is a wake-up or one delivery, so
+    a large constant times that is safely above any correct execution.
+    """
+    n = max(graph.n, 2)
+    log_n = n.bit_length()
+    return 10_000 + 200 * n * (log_n + 2) + 50 * graph.n_edges
+
+
+def build_simulation(
+    graph: KnowledgeGraph,
+    variant: str,
+    *,
+    seed: Optional[int] = None,
+    scheduler: Optional[Scheduler] = None,
+    keep_trace: bool = False,
+    wake_order: Optional[Sequence[NodeId]] = None,
+    auto_wake: bool = True,
+    greedy_queries: bool = False,
+    channel_discipline: str = "fifo",
+    channel_seed: int = 0,
+) -> "tuple[Simulator, Dict[NodeId, DiscoveryNode]]":
+    """Create a simulator with one :class:`DiscoveryNode` per graph node.
+
+    ``scheduler`` wins over ``seed``; with neither, delivery is global-FIFO.
+    With ``auto_wake`` every node gets a spontaneous wake-up scheduled in
+    ``wake_order`` (default: graph order); pass ``auto_wake=False`` for
+    custom wake-up regimes (e.g. the Union-Find reduction's sequential
+    schedule, where only operation nodes wake spontaneously).
+    """
+    if scheduler is None:
+        scheduler = RandomScheduler(seed) if seed is not None else GlobalFifoScheduler()
+    sim = Simulator(
+        scheduler,
+        id_bits=id_bits_for(graph.n),
+        keep_trace=keep_trace,
+        channel_discipline=channel_discipline,
+        channel_seed=channel_seed,
+    )
+    sizes: Dict[NodeId, int] = {}
+    if variant == "bounded":
+        for component in weakly_connected_components(graph):
+            for member in component:
+                sizes[member] = len(component)
+    nodes: Dict[NodeId, DiscoveryNode] = {}
+    for node_id in graph.nodes:
+        node = DiscoveryNode(
+            node_id,
+            graph.successors(node_id),
+            variant=variant,
+            component_size=sizes.get(node_id),
+            greedy_queries=greedy_queries,
+        )
+        nodes[node_id] = node
+        sim.add_node(node)
+    if auto_wake:
+        for node_id in wake_order if wake_order is not None else graph.nodes:
+            sim.schedule_wake(node_id)
+    return sim, nodes

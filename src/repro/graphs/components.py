@@ -1,0 +1,117 @@
+"""Weak and strong connectivity on knowledge graphs.
+
+Resource Discovery is defined per *weakly connected component* (paths in the
+induced undirected graph), while the O(n) leader-election observation of
+Section 1 applies to *strongly connected* graphs.  Both component
+computations are implemented here from first principles (iterative BFS and
+Tarjan's SCC algorithm); the test suite cross-checks them against networkx.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.graphs.knowledge_graph import KnowledgeGraph, NodeId
+
+__all__ = [
+    "weakly_connected_components",
+    "strongly_connected_components",
+    "is_weakly_connected",
+    "is_strongly_connected",
+    "component_of",
+]
+
+
+def weakly_connected_components(graph: KnowledgeGraph) -> List[Set[NodeId]]:
+    """Return the weakly connected components, ordered by first node seen."""
+    visited: Set[NodeId] = set()
+    components: List[Set[NodeId]] = []
+    for start in graph.nodes:
+        if start in visited:
+            continue
+        component: Set[NodeId] = set()
+        frontier = [start]
+        visited.add(start)
+        while frontier:
+            node = frontier.pop()
+            component.add(node)
+            for neighbor in graph.undirected_neighbors(node):
+                if neighbor not in visited:
+                    visited.add(neighbor)
+                    frontier.append(neighbor)
+        components.append(component)
+    return components
+
+
+def component_of(graph: KnowledgeGraph, node: NodeId) -> Set[NodeId]:
+    """Return the weakly connected component containing ``node``."""
+    for component in weakly_connected_components(graph):
+        if node in component:
+            return component
+    raise KeyError(f"unknown node {node!r}")
+
+
+def is_weakly_connected(graph: KnowledgeGraph) -> bool:
+    """Whether the whole graph is one weakly connected component."""
+    if graph.n == 0:
+        return True
+    return len(weakly_connected_components(graph)) == 1
+
+
+def strongly_connected_components(graph: KnowledgeGraph) -> List[Set[NodeId]]:
+    """Tarjan's algorithm, iterative to dodge the recursion limit."""
+    index_of: Dict[NodeId, int] = {}
+    lowlink: Dict[NodeId, int] = {}
+    on_stack: Set[NodeId] = set()
+    stack: List[NodeId] = []
+    components: List[Set[NodeId]] = []
+    counter = 0
+
+    for root in graph.nodes:
+        if root in index_of:
+            continue
+        # Each frame is (node, iterator over successors).
+        work = [(root, iter(sorted(graph.successors(root), key=repr)))]
+        index_of[root] = lowlink[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, successors = work[-1]
+            advanced = False
+            for succ in successors:
+                if succ not in index_of:
+                    index_of[succ] = lowlink[succ] = counter
+                    counter += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append(
+                        (succ, iter(sorted(graph.successors(succ), key=repr)))
+                    )
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index_of[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index_of[node]:
+                component: Set[NodeId] = set()
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.add(member)
+                    if member == node:
+                        break
+                components.append(component)
+    return components
+
+
+def is_strongly_connected(graph: KnowledgeGraph) -> bool:
+    """Whether the whole graph is one strongly connected component."""
+    if graph.n == 0:
+        return True
+    return len(strongly_connected_components(graph)) == 1

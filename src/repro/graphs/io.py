@@ -1,0 +1,126 @@
+"""Reading and writing knowledge graphs.
+
+Two formats:
+
+* **edge list** (``.edges``, plain text): one ``u v`` pair per line,
+  ``#`` comments, and optional bare ``u`` lines declaring isolated nodes.
+  Ids are read as integers when every token parses as one, as strings
+  otherwise (mixing would break the protocols' id comparisons).
+* **JSON** (``.json``): ``{"nodes": [...], "edges": [[u, v], ...]}`` --
+  lossless for any JSON-representable ids.
+
+Used by the CLI's ``--graph-file`` and handy for pinning regression
+topologies in tests.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import List, Tuple, Union
+
+from repro.graphs.knowledge_graph import KnowledgeGraph
+
+PathLike = Union[str, pathlib.Path]
+
+__all__ = [
+    "write_edge_list",
+    "read_edge_list",
+    "write_json",
+    "read_json",
+    "load_graph",
+    "save_graph",
+]
+
+
+def write_edge_list(graph: KnowledgeGraph, path: PathLike) -> None:
+    """Write ``graph`` as a plain-text edge list."""
+    path = pathlib.Path(path)
+    lines = [f"# knowledge graph: n={graph.n} m={graph.n_edges}"]
+    with_edges = set()
+    for u, v in graph.edges():
+        lines.append(f"{u} {v}")
+        with_edges.add(u)
+        with_edges.add(v)
+    for node in graph.nodes:
+        if node not in with_edges:
+            lines.append(f"{node}")
+    path.write_text("\n".join(lines) + "\n")
+
+
+def read_edge_list(path: PathLike) -> KnowledgeGraph:
+    """Parse a plain-text edge list written by :func:`write_edge_list`
+    (or by hand)."""
+    path = pathlib.Path(path)
+    raw_nodes: List[str] = []
+    raw_edges: List[Tuple[str, str]] = []
+    seen = set()
+
+    def note(token: str) -> None:
+        if token not in seen:
+            seen.add(token)
+            raw_nodes.append(token)
+
+    for line_no, line in enumerate(path.read_text().splitlines(), start=1):
+        stripped = line.split("#", 1)[0].strip()
+        if not stripped:
+            continue
+        parts = stripped.split()
+        if len(parts) == 1:
+            note(parts[0])
+        elif len(parts) == 2:
+            note(parts[0])
+            note(parts[1])
+            raw_edges.append((parts[0], parts[1]))
+        else:
+            raise ValueError(f"{path}:{line_no}: expected 'u v' or 'u', got {line!r}")
+
+    if all(_is_int(token) for token in raw_nodes):
+        convert = int
+    else:
+        convert = str
+    nodes = [convert(token) for token in raw_nodes]
+    edges = [(convert(u), convert(v)) for u, v in raw_edges]
+    return KnowledgeGraph(nodes, edges)
+
+
+def _is_int(token: str) -> bool:
+    try:
+        int(token)
+    except ValueError:
+        return False
+    return True
+
+
+def write_json(graph: KnowledgeGraph, path: PathLike) -> None:
+    """Write ``graph`` as ``{"nodes": [...], "edges": [[u, v], ...]}``."""
+    payload = {
+        "nodes": graph.nodes,
+        "edges": [[u, v] for u, v in graph.edges()],
+    }
+    pathlib.Path(path).write_text(json.dumps(payload, indent=1))
+
+
+def read_json(path: PathLike) -> KnowledgeGraph:
+    """Read a JSON graph written by :func:`write_json`."""
+    payload = json.loads(pathlib.Path(path).read_text())
+    if not isinstance(payload, dict) or "nodes" not in payload:
+        raise ValueError(f"{path}: expected an object with 'nodes' and 'edges'")
+    edges = payload.get("edges", [])
+    # JSON arrays arrive as lists; node ids must be hashable as-is.
+    return KnowledgeGraph(payload["nodes"], (tuple(edge) for edge in edges))
+
+
+def save_graph(graph: KnowledgeGraph, path: PathLike) -> None:
+    """Dispatch on extension: ``.json`` or edge list otherwise."""
+    if str(path).endswith(".json"):
+        write_json(graph, path)
+    else:
+        write_edge_list(graph, path)
+
+
+def load_graph(path: PathLike) -> KnowledgeGraph:
+    """Dispatch on extension: ``.json`` or edge list otherwise."""
+    if str(path).endswith(".json"):
+        return read_json(path)
+    return read_edge_list(path)

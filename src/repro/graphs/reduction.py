@@ -1,0 +1,222 @@
+"""The Union-Find -> Ad-hoc Resource Discovery reduction (Lemma 3.1).
+
+Given a universe of ``n`` singleton sets and a schedule ``U`` of union and
+find operations, Lemma 3.1 compiles a knowledge graph ``G``:
+
+* one node ``s_i`` per set ``S_i``;
+* one node ``u_{i,j}`` per operation ``U(i, j)``, with edges
+  ``u_{i,j} -> s_i`` and ``u_{i,j} -> s_j``;
+* one node ``f_i`` per operation ``F(i)``, with edge ``f_i -> s_i``;
+
+together with the *sequential wake-up schedule*: wake the operation node of
+the first operation, run the discovery algorithm to quiescence, wake the
+next, and so on (set nodes are woken by the messages that reach them).
+
+Driving the Ad-hoc algorithm through this schedule simulates the Union-Find
+sequence, which is how the paper transfers Tarjan's ``Omega(n alpha(n, n))``
+pointer-machine lower bound to message complexity (Theorem 2).
+
+This module builds the graph and schedule; the driver that actually runs the
+discovery algorithm operation-by-operation lives in
+:mod:`repro.lowerbounds.unionfind_reduction`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple, Union
+
+from repro.graphs.knowledge_graph import KnowledgeGraph
+
+__all__ = [
+    "UnionOp",
+    "FindOp",
+    "Operation",
+    "ReductionGraph",
+    "build_reduction_graph",
+    "random_schedule",
+    "binomial_merge_schedule",
+    "interleaved_find_schedule",
+]
+
+
+@dataclass(frozen=True)
+class UnionOp:
+    """``U(i, j)``: unite the sets currently containing ``S_i`` and ``S_j``.
+
+    The paper assumes the two sets are disjoint prior to the operation;
+    schedule generators maintain that invariant.
+    """
+
+    i: int
+    j: int
+
+
+@dataclass(frozen=True)
+class FindOp:
+    """``F(i)``: find the representative of the set containing ``S_i``."""
+
+    i: int
+
+
+Operation = Union[UnionOp, FindOp]
+
+
+@dataclass
+class ReductionGraph:
+    """The compiled knowledge graph plus its wake-up schedule.
+
+    Attributes
+    ----------
+    graph:
+        The knowledge graph of Lemma 3.1.
+    wake_schedule:
+        Operation-node ids in the order they must be woken, one per
+        operation in the source schedule.
+    set_nodes:
+        ``set_nodes[i]`` is the graph id of ``s_i``.
+    operations:
+        The source operation sequence, aligned with ``wake_schedule``.
+    """
+
+    graph: KnowledgeGraph
+    wake_schedule: List[str]
+    set_nodes: List[str]
+    operations: List[Operation]
+
+    @property
+    def n_sets(self) -> int:
+        return len(self.set_nodes)
+
+
+def build_reduction_graph(n_sets: int, operations: Sequence[Operation]) -> ReductionGraph:
+    """Compile ``operations`` over ``n_sets`` singletons into a knowledge graph.
+
+    Node ids are strings: ``"s<i>"`` for set nodes, ``"u<i>_<j>@<k>"`` for
+    the union node of the k-th operation, ``"f<i>@<k>"`` for find nodes.
+    Strings are mutually orderable, which is all the protocols need.
+    """
+    if n_sets < 1:
+        raise ValueError(f"n_sets must be >= 1, got {n_sets}")
+    set_nodes = [f"s{i}" for i in range(n_sets)]
+    nodes: List[str] = list(set_nodes)
+    edges: List[Tuple[str, str]] = []
+    wake_schedule: List[str] = []
+    n_unions = 0
+    for k, op in enumerate(operations):
+        if isinstance(op, UnionOp):
+            _check_index(op.i, n_sets)
+            _check_index(op.j, n_sets)
+            if op.i == op.j:
+                raise ValueError(f"operation {k}: union of a set with itself")
+            n_unions += 1
+            node = f"u{op.i}_{op.j}@{k}"
+            nodes.append(node)
+            edges.append((node, set_nodes[op.i]))
+            edges.append((node, set_nodes[op.j]))
+        elif isinstance(op, FindOp):
+            _check_index(op.i, n_sets)
+            node = f"f{op.i}@{k}"
+            nodes.append(node)
+            edges.append((node, set_nodes[op.i]))
+        else:
+            raise TypeError(f"operation {k}: expected UnionOp or FindOp, got {op!r}")
+        wake_schedule.append(node)
+    if n_unions > n_sets - 1:
+        raise ValueError(
+            f"{n_unions} unions over {n_sets} sets cannot all merge disjoint sets"
+        )
+    return ReductionGraph(
+        graph=KnowledgeGraph(nodes, edges),
+        wake_schedule=wake_schedule,
+        set_nodes=set_nodes,
+        operations=list(operations),
+    )
+
+
+def random_schedule(
+    n_sets: int,
+    n_finds: int,
+    seed: int = 0,
+    *,
+    full_merge: bool = True,
+) -> List[Operation]:
+    """A random valid schedule: ``n_sets - 1`` unions interleaved with finds.
+
+    Unions always merge two currently-distinct sets (tracked with a scratch
+    quick-find), so the compiled graph satisfies Lemma 3.1's disjointness
+    assumption.  With ``full_merge`` the final structure is a single set.
+    """
+    rng = random.Random(seed)
+    labels = list(range(n_sets))  # quick-find scratch labels
+
+    def representative(i: int) -> int:
+        return labels[i]
+
+    remaining_unions = n_sets - 1 if full_merge else max(0, (n_sets - 1) // 2)
+    ops: List[Operation] = []
+    pending = [("u", None)] * remaining_unions + [("f", None)] * n_finds
+    rng.shuffle(pending)
+    # Unions must come while >= 2 sets remain; a shuffled schedule already
+    # guarantees that because we schedule exactly n_sets - 1 of them.
+    for kind, _ in pending:
+        if kind == "f":
+            ops.append(FindOp(rng.randrange(n_sets)))
+            continue
+        # Pick representatives of two distinct current sets.
+        i = rng.randrange(n_sets)
+        j = rng.randrange(n_sets)
+        while representative(i) == representative(j):
+            j = rng.randrange(n_sets)
+        ops.append(UnionOp(i, j))
+        old, new = representative(i), representative(j)
+        for k in range(n_sets):
+            if labels[k] == old:
+                labels[k] = new
+    return ops
+
+
+def binomial_merge_schedule(n_sets: int, finds_per_round: int = 1, seed: int = 0) -> List[Operation]:
+    """Balanced binomial-tree merging with interleaved finds.
+
+    Merges pairs, then pairs of pairs, and so on (the structure underlying
+    the hard instances of Tarjan's lower bound), with ``finds_per_round``
+    finds on random deep elements after each round.  ``n_sets`` is rounded
+    down to a power of two.
+    """
+    if n_sets < 2:
+        raise ValueError(f"n_sets must be >= 2, got {n_sets}")
+    size = 1 << (n_sets.bit_length() - 1)
+    rng = random.Random(seed)
+    ops: List[Operation] = []
+    stride = 1
+    while stride < size:
+        for base in range(0, size, 2 * stride):
+            ops.append(UnionOp(base, base + stride))
+        for _ in range(finds_per_round):
+            ops.append(FindOp(rng.randrange(size)))
+        stride *= 2
+    return ops
+
+
+def interleaved_find_schedule(n_sets: int, finds_per_union: int, seed: int = 0) -> List[Operation]:
+    """A sequential chain of unions with ``finds_per_union`` finds after each.
+
+    Produces long find paths when run without compression; useful for
+    exercising the path-compression behaviour of ``release`` messages.
+    """
+    if n_sets < 2:
+        raise ValueError(f"n_sets must be >= 2, got {n_sets}")
+    rng = random.Random(seed)
+    ops: List[Operation] = []
+    for i in range(1, n_sets):
+        ops.append(UnionOp(i - 1, i))
+        for _ in range(finds_per_union):
+            ops.append(FindOp(rng.randrange(i + 1)))
+    return ops
+
+
+def _check_index(i: int, n_sets: int) -> None:
+    if not 0 <= i < n_sets:
+        raise ValueError(f"set index {i} out of range [0, {n_sets})")

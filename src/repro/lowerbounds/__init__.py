@@ -1,0 +1,23 @@
+"""The paper's two lower-bound constructions, made executable."""
+
+from repro.lowerbounds.tree_adversary import (
+    TreeAdversary,
+    TreeLowerBoundOutcome,
+    run_tree_lower_bound,
+    theorem_1_floor,
+)
+from repro.lowerbounds.unionfind_reduction import (
+    ReductionDriver,
+    ReductionOutcome,
+    run_reduction,
+)
+
+__all__ = [
+    "TreeAdversary",
+    "TreeLowerBoundOutcome",
+    "run_tree_lower_bound",
+    "theorem_1_floor",
+    "ReductionDriver",
+    "ReductionOutcome",
+    "run_reduction",
+]

@@ -1,0 +1,112 @@
+"""Theorem 1's adversarial execution on complete binary trees.
+
+The proof considers ``T(i)``: a complete rooted binary tree with
+``n = 2**i - 1`` nodes and all edges directed toward the leaves.  The
+adversary "stalls all messages sent by the root until both subtrees have no
+more messages to send", recursively inside each subtree.  Under that
+schedule every algorithm is forced to solve each subtree in isolation
+(nothing below a subtree root can learn about the rest of the tree until
+the root speaks), and the leader-announcement obligation then costs the
+extra ``Omega(n log n)`` re-notifications.
+
+:class:`TreeAdversary` realises exactly that schedule: deliveries whose
+*sender* is an internal tree node are blocked until the adversary releases
+that node, and nodes are released strictly deepest-first, each time the
+whole system is otherwise quiescent -- which is precisely "both subtrees
+have no more messages to send".  (Edges point away from the root, so no
+message ever travels *into* a blocked subtree root; blocking senders is
+the complete schedule.)
+
+:func:`run_tree_lower_bound` runs the Generic algorithm under this
+adversary and reports the measured message count next to the theorem's
+``i * 2**(i-1) - 2`` floor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Set
+
+from repro.core.generic import run_generic
+from repro.core.result import DiscoveryResult
+from repro.graphs.generators import complete_binary_tree
+from repro.sim.events import DeliverToken, Token
+from repro.sim.network import Simulator
+from repro.sim.scheduler import AdversarialScheduler, Adversary
+
+__all__ = ["TreeAdversary", "TreeLowerBoundOutcome", "run_tree_lower_bound", "theorem_1_floor"]
+
+
+def theorem_1_floor(height: int) -> int:
+    """Theorem 1's bound for ``T(height)``: at least ``i * 2**(i-1) - 2``
+    messages (which is ``>= 0.5 n log2 n - 2``)."""
+    if height < 2:
+        return 0
+    return height * 2 ** (height - 1) - 2
+
+
+class TreeAdversary(Adversary):
+    """Deepest-first release of internal-node senders on ``T(height)``."""
+
+    def __init__(self, height: int) -> None:
+        if height < 1:
+            raise ValueError(f"height must be >= 1, got {height}")
+        self.height = height
+        n = 2**height - 1
+        internal = [k for k in range(n) if 2 * k + 1 < n]
+        # Release order: deepest internal nodes first, the root last.
+        internal.sort(key=self._depth, reverse=True)
+        self._release_queue: List[int] = internal
+        self.released: Set[int] = {k for k in range(n) if 2 * k + 1 >= n}
+        self.stall_count = 0
+
+    @staticmethod
+    def _depth(k: int) -> int:
+        return (k + 1).bit_length() - 1
+
+    def blocks(self, token: Token, sim: Simulator) -> bool:
+        return isinstance(token, DeliverToken) and token.src not in self.released
+
+    def on_stall(self, sim: Simulator) -> bool:
+        if not self._release_queue:
+            return False
+        self.stall_count += 1
+        self.released.add(self._release_queue.pop(0))
+        return True
+
+
+@dataclass
+class TreeLowerBoundOutcome:
+    """Measured adversarial cost vs. Theorem 1's floor."""
+
+    height: int
+    n: int
+    measured_messages: int
+    theorem_floor: int
+    result: DiscoveryResult
+
+    @property
+    def respects_floor(self) -> bool:
+        return self.measured_messages >= self.theorem_floor
+
+    def summary(self) -> str:
+        return (
+            f"T({self.height}): n={self.n} measured={self.measured_messages} "
+            f"floor={self.theorem_floor} "
+            f"ratio={self.measured_messages / max(1, self.theorem_floor):.2f}"
+        )
+
+
+def run_tree_lower_bound(height: int) -> TreeLowerBoundOutcome:
+    """Run the Generic algorithm on ``T(height)`` under the Theorem 1
+    adversary and compare against the proven floor."""
+    graph = complete_binary_tree(height)
+    adversary = TreeAdversary(height)
+    result = run_generic(graph, scheduler=AdversarialScheduler(adversary))
+    return TreeLowerBoundOutcome(
+        height=height,
+        n=graph.n,
+        measured_messages=result.total_messages,
+        theorem_floor=theorem_1_floor(height),
+        result=result,
+    )

@@ -1,0 +1,151 @@
+"""Consuming discovery output: building a ring overlay with fingers.
+
+The paper's introduction motivates Resource Discovery as the step *before*
+cooperation: "Once all peers that are interested get to know of each other
+they may cooperate on joint tasks (for example ... build an overlay
+network and form a distributed hash table)".  This module closes that
+loop: given a component's membership (a leader's knowledge set, or a probe
+result), it deterministically constructs a Chord-style ring with finger
+tables and answers greedy lookups in ``O(log n)`` hops.
+
+The overlay is a *plan*, not a protocol: every peer can compute it locally
+from the same membership set (the ordering is canonical), which is exactly
+what the discovery guarantees enable -- no further coordination needed.
+
+Example::
+
+    result = run_adhoc(graph, seed=1)
+    members = result.knowledge[result.leaders[0]]
+    ring = RingOverlay.from_membership(members)
+    path = ring.lookup_path(start=some_peer, key=other_peer)
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, List, Sequence, Tuple
+
+NodeId = Hashable
+
+__all__ = ["RingOverlay", "ring_position"]
+
+
+def ring_position(node_id: NodeId, *, bits: int = 32) -> int:
+    """A peer's canonical ring coordinate: a stable hash of its id.
+
+    Uses sha256 of ``repr(node_id)`` so every peer computes the same
+    coordinate without coordination (Python's builtin ``hash`` is salted
+    per process and would not be stable).
+    """
+    digest = hashlib.sha256(repr(node_id).encode()).digest()
+    return int.from_bytes(digest[: (bits + 7) // 8], "big") % (1 << bits)
+
+
+@dataclass(frozen=True)
+class RingOverlay:
+    """A deterministic Chord-style ring over a fixed membership set.
+
+    Attributes
+    ----------
+    order:
+        Members sorted by ring position (ties broken by repr).
+    positions:
+        ``{member: ring coordinate}``.
+    fingers:
+        ``{member: [successor, +2, +4, ...]}`` -- index jumps of power-of-
+        two ring distance, the classic finger table.
+    """
+
+    order: Tuple[NodeId, ...]
+    positions: Dict[NodeId, int]
+    fingers: Dict[NodeId, Tuple[NodeId, ...]]
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_membership(cls, members: Iterable[NodeId], *, bits: int = 32) -> "RingOverlay":
+        """Build the canonical overlay for a membership set."""
+        member_list = list(members)
+        if not member_list:
+            raise ValueError("membership must be non-empty")
+        if len(set(member_list)) != len(member_list):
+            raise ValueError("membership contains duplicates")
+        positions = {member: ring_position(member, bits=bits) for member in member_list}
+        order = tuple(
+            sorted(member_list, key=lambda m: (positions[m], repr(m)))
+        )
+        n = len(order)
+        index_of = {member: i for i, member in enumerate(order)}
+        fingers: Dict[NodeId, Tuple[NodeId, ...]] = {}
+        for member in order:
+            i = index_of[member]
+            table: List[NodeId] = []
+            jump = 1
+            while jump < n:
+                table.append(order[(i + jump) % n])
+                jump *= 2
+            if not table and n == 1:
+                table = []
+            fingers[member] = tuple(table)
+        return cls(order=order, positions=positions, fingers=fingers)
+
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        return len(self.order)
+
+    def successor(self, member: NodeId) -> NodeId:
+        """The next member clockwise (itself in a singleton ring)."""
+        i = self.order.index(member)
+        return self.order[(i + 1) % self.n]
+
+    def responsible_for(self, key: NodeId) -> NodeId:
+        """The member owning ``key``'s ring position (first member at or
+        clockwise after the key's coordinate)."""
+        pos = ring_position(key)
+        for member in self.order:
+            if self.positions[member] >= pos:
+                return member
+        return self.order[0]
+
+    def lookup_path(self, start: NodeId, key: NodeId) -> List[NodeId]:
+        """Greedy finger routing from ``start`` to ``key``'s owner.
+
+        Each hop jumps to the finger that gets closest to the target
+        without overshooting (clockwise distance), the classic Chord
+        argument giving ``O(log n)`` hops.
+        """
+        if start not in self.positions:
+            raise KeyError(f"unknown member {start!r}")
+        target = self.responsible_for(key)
+        target_index = self.order.index(target)
+        n = self.n
+        index_of = {member: i for i, member in enumerate(self.order)}
+        path = [start]
+        current = start
+        hops = 0
+        while current != target:
+            i = index_of[current]
+            distance = (target_index - i) % n
+            best = self.successor(current)
+            best_jump = 1
+            jump = 1
+            for finger in self.fingers[current]:
+                if jump <= distance and jump > best_jump:
+                    best, best_jump = finger, jump
+                jump *= 2
+            current = best
+            path.append(current)
+            hops += 1
+            if hops > n:
+                raise RuntimeError("lookup did not converge (overlay bug)")
+        return path
+
+    def max_lookup_hops(self) -> int:
+        """Exhaustive worst-case hop count (test/diagnostic helper; O(n^2)
+        lookups, so use on small rings)."""
+        worst = 0
+        for start in self.order:
+            for key in self.order:
+                worst = max(worst, len(self.lookup_path(start, key)) - 1)
+        return worst

@@ -1,0 +1,51 @@
+"""Asynchronous discrete-event simulation substrate.
+
+Implements the paper's execution model exactly: reliable per-pair FIFO
+channels, unbounded adversarial delays (pluggable schedulers), asynchronous
+wake-ups, and per-message-type message/bit accounting.
+"""
+
+from repro.sim.events import DeliverToken, Token, WakeToken
+from repro.sim.network import (
+    SimNode,
+    SimulationError,
+    Simulator,
+    StepLimitExceeded,
+    StuckExecutionError,
+)
+from repro.sim.scheduler import (
+    AdversarialScheduler,
+    Adversary,
+    GlobalFifoScheduler,
+    LifoScheduler,
+    RandomScheduler,
+    Scheduler,
+)
+from repro.sim.replay import RecordingScheduler, ReplayDivergence, ReplayScheduler
+from repro.sim.timed import TimedScheduler
+from repro.sim.trace import ExecutionTrace, MessageStats, TraceEvent, bits_for_ids
+
+__all__ = [
+    "DeliverToken",
+    "WakeToken",
+    "Token",
+    "SimNode",
+    "Simulator",
+    "SimulationError",
+    "StuckExecutionError",
+    "StepLimitExceeded",
+    "Scheduler",
+    "GlobalFifoScheduler",
+    "LifoScheduler",
+    "RandomScheduler",
+    "Adversary",
+    "AdversarialScheduler",
+    "TimedScheduler",
+    "RecordingScheduler",
+    "ReplayScheduler",
+    "ReplayDivergence",
+    "ExecutionTrace",
+    "MessageStats",
+    "TraceEvent",
+    "bits_for_ids",
+]

@@ -1,0 +1,47 @@
+"""Schedulable actions of the asynchronous simulator.
+
+An execution of the asynchronous model is a sequence of atomic steps, each
+either a *wake-up* of a node or the *delivery* of the oldest in-flight
+message on some FIFO channel.  The scheduler (see
+:mod:`repro.sim.scheduler`) decides the order; the adversaries of the
+lower-bound experiments are just scheduling policies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Tuple, Union
+
+__all__ = ["WakeToken", "DeliverToken", "Token"]
+
+
+@dataclass(frozen=True)
+class WakeToken:
+    """Spontaneously wake ``node`` (no-op if already awake)."""
+
+    node: Hashable
+
+    @property
+    def channel(self) -> None:
+        return None
+
+
+@dataclass(frozen=True)
+class DeliverToken:
+    """Deliver the head-of-line message on channel ``(src, dst)``.
+
+    One token is enqueued per sent message, so executing every token
+    delivers every message exactly once while per-channel FIFO order is
+    preserved automatically (a token always delivers the *oldest* message on
+    its channel, whichever send created it).
+    """
+
+    src: Hashable
+    dst: Hashable
+
+    @property
+    def channel(self) -> Tuple[Hashable, Hashable]:
+        return (self.src, self.dst)
+
+
+Token = Union[WakeToken, DeliverToken]

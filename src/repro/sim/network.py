@@ -1,0 +1,296 @@
+"""The asynchronous message-passing simulator.
+
+This is the paper's execution model made executable:
+
+* reliable point-to-point channels with **FIFO order per ordered pair**
+  (Section 1.2's assumption);
+* **finite but unbounded delays**: any pending delivery or wake-up may be
+  scheduled next, under the control of a :class:`~repro.sim.scheduler.Scheduler`;
+* **no global start**: nodes sleep until either their spontaneous wake-up
+  token fires or a message reaches them (messages wake sleeping nodes, the
+  "wake-up nearby neighbors" rule);
+* **exact accounting** of messages and bits by type, which is what all the
+  theorems bound.
+
+Protocol nodes subclass :class:`SimNode` and implement ``on_wake`` and
+``on_message``.  Handlers run atomically: they may send any number of
+messages, which become pending deliveries.  The simulator runs until
+*quiescence* -- no pending wake-ups and no in-flight messages -- which is
+precisely the steady state of the problem definition's liveness requirement
+(property 4), so "run to quiescence, then check properties" is the faithful
+evaluation procedure.
+"""
+
+from __future__ import annotations
+
+import random as _random
+from collections import deque
+from typing import Any, Callable, Deque, Dict, Hashable, List, Optional, Tuple
+
+from repro.sim.events import DeliverToken, Token, WakeToken
+from repro.sim.scheduler import GlobalFifoScheduler, Scheduler
+from repro.sim.trace import ExecutionTrace, MessageStats, TraceEvent
+
+__all__ = [
+    "SimNode",
+    "Simulator",
+    "SimulationError",
+    "StuckExecutionError",
+    "StepLimitExceeded",
+]
+
+
+class SimulationError(RuntimeError):
+    """Base class for simulator failures."""
+
+
+class StuckExecutionError(SimulationError):
+    """Pending steps exist but the scheduler refuses to run any of them."""
+
+
+class StepLimitExceeded(SimulationError):
+    """The execution did not quiesce within the step budget."""
+
+
+class SimNode:
+    """Base class for protocol participants.
+
+    Subclasses implement :meth:`on_wake` (local initialization + first
+    actions) and :meth:`on_message`.  The :meth:`send` helper hands messages
+    to the simulator; sending to oneself is a protocol bug (the paper's
+    algorithms short-circuit self-interactions locally) and raises.
+    """
+
+    def __init__(self, node_id: Hashable) -> None:
+        self.node_id = node_id
+        self.awake = False
+        self._sim: Optional["Simulator"] = None
+
+    # -- wiring ---------------------------------------------------------
+    def bind(self, sim: "Simulator") -> None:
+        if self._sim is not None and self._sim is not sim:
+            raise SimulationError(f"node {self.node_id!r} already bound")
+        self._sim = sim
+
+    @property
+    def sim(self) -> "Simulator":
+        if self._sim is None:
+            raise SimulationError(f"node {self.node_id!r} is not bound to a simulator")
+        return self._sim
+
+    # -- actions --------------------------------------------------------
+    def send(self, dst: Hashable, message: Any) -> None:
+        """Send ``message`` to ``dst`` over the FIFO channel (self, dst)."""
+        if dst == self.node_id:
+            raise SimulationError(
+                f"node {self.node_id!r} tried to message itself with "
+                f"{getattr(message, 'msg_type', message)!r}; self-interactions "
+                "must be simulated internally (Section 4.1)"
+            )
+        self.sim.transmit(self.node_id, dst, message)
+
+    # -- handlers -------------------------------------------------------
+    def on_wake(self) -> None:  # pragma: no cover - interface default
+        """Called exactly once, before the node's first action."""
+
+    def on_message(self, sender: Hashable, message: Any) -> None:
+        raise NotImplementedError
+
+
+class Simulator:
+    """Asynchronous reliable-FIFO message-passing system.
+
+    Parameters
+    ----------
+    scheduler:
+        Delivery-order policy; defaults to :class:`GlobalFifoScheduler`.
+    id_bits:
+        Bits charged per node id in bit accounting (``ceil(log2 n)`` for an
+        ``n``-node system; runners compute this from the graph).
+    keep_trace:
+        Record every executed step in :attr:`trace` (costs memory; default
+        off).
+    """
+
+    def __init__(
+        self,
+        scheduler: Optional[Scheduler] = None,
+        *,
+        id_bits: int = 32,
+        keep_trace: bool = False,
+        channel_discipline: str = "fifo",
+        channel_seed: int = 0,
+        duplicate_probability: float = 0.0,
+    ) -> None:
+        if id_bits < 1:
+            raise ValueError(f"id_bits must be >= 1, got {id_bits}")
+        if channel_discipline not in ("fifo", "random"):
+            raise ValueError(
+                f"channel_discipline must be 'fifo' or 'random', "
+                f"got {channel_discipline!r}"
+            )
+        if not 0.0 <= duplicate_probability <= 1.0:
+            raise ValueError(
+                f"duplicate_probability must be in [0, 1], "
+                f"got {duplicate_probability}"
+            )
+        # Explicit None check: schedulers define __len__, so an empty one is
+        # falsy and ``scheduler or default`` would silently discard it.
+        self.scheduler: Scheduler = (
+            scheduler if scheduler is not None else GlobalFifoScheduler()
+        )
+        self.id_bits = id_bits
+        self.nodes: Dict[Hashable, SimNode] = {}
+        self._channels: Dict[Tuple[Hashable, Hashable], Deque[Any]] = {}
+        self.stats = MessageStats()
+        self.steps = 0
+        self.trace: Optional[ExecutionTrace] = ExecutionTrace() if keep_trace else None
+        self._send_observers: List[Callable[[Hashable, Hashable, Any], None]] = []
+        #: "fifo" is the paper's model (Section 1.2); "random" is the ABL-3
+        #: ablation -- each delivery takes a uniformly random pending
+        #: message from the channel instead of the oldest.
+        self.channel_discipline = channel_discipline
+        self._channel_rng = _random.Random(channel_seed)
+        #: fault injection: probability that a sent message is delivered
+        #: twice.  The model assumes reliable exactly-once delivery; this
+        #: knob exists to *demonstrate* that assumption is load-bearing
+        #: (finding F7) -- unlike FIFO order (finding F6), which is not.
+        self.duplicate_probability = duplicate_probability
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    def add_node(self, node: SimNode) -> None:
+        if node.node_id in self.nodes:
+            raise ValueError(f"duplicate node id {node.node_id!r}")
+        node.bind(self)
+        self.nodes[node.node_id] = node
+
+    def schedule_wake(self, node_id: Hashable) -> None:
+        """Make a spontaneous wake-up of ``node_id`` a pending step."""
+        if node_id not in self.nodes:
+            raise KeyError(f"unknown node {node_id!r}")
+        self.scheduler.push(WakeToken(node_id))
+
+    def add_send_observer(self, observer: Callable[[Hashable, Hashable, Any], None]) -> None:
+        """Register a callback invoked on every transmit (testing hook)."""
+        self._send_observers.append(observer)
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def transmit(self, src: Hashable, dst: Hashable, message: Any) -> None:
+        """Enqueue a message; charged to stats immediately (it was *sent*)."""
+        if dst not in self.nodes:
+            raise KeyError(f"message to unknown node {dst!r} from {src!r}")
+        msg_type = getattr(message, "msg_type", None)
+        if msg_type is None:
+            raise TypeError(f"message {message!r} lacks a msg_type")
+        bits = message.bit_size(self.id_bits)
+        self.stats.record(msg_type, bits)
+        channel = self._channels.setdefault((src, dst), deque())
+        channel.append(message)
+        self.scheduler.push(DeliverToken(src, dst))
+        if (
+            self.duplicate_probability > 0.0
+            and self._channel_rng.random() < self.duplicate_probability
+        ):
+            # Fault: the network delivers a second copy (not re-charged to
+            # stats -- the sender sent once).
+            channel.append(message)
+            self.scheduler.push(DeliverToken(src, dst))
+        for observer in self._send_observers:
+            observer(src, dst, message)
+
+    def in_flight(self) -> int:
+        """Number of sent-but-undelivered messages."""
+        return sum(len(q) for q in self._channels.values())
+
+    def channel_backlog(self, src: Hashable, dst: Hashable) -> int:
+        """Pending messages on one ordered channel (diagnostics)."""
+        return len(self._channels.get((src, dst), ()))
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    @property
+    def is_quiescent(self) -> bool:
+        return len(self.scheduler) == 0
+
+    def step(self) -> bool:
+        """Execute one pending step; return ``False`` when quiescent."""
+        token = self.scheduler.pop(self)
+        if token is None:
+            if len(self.scheduler) > 0:
+                raise StuckExecutionError(
+                    f"{len(self.scheduler)} pending steps but none eligible"
+                )
+            return False
+        self.steps += 1
+        if isinstance(token, WakeToken):
+            self._execute_wake(token)
+        else:
+            self._execute_deliver(token)
+        return True
+
+    def run(self, max_steps: Optional[int] = None) -> int:
+        """Run to quiescence; return the number of steps executed.
+
+        Raises :class:`StepLimitExceeded` if ``max_steps`` new steps did not
+        reach quiescence -- the guard that turns a protocol livelock into a
+        test failure instead of a hang.
+        """
+        executed = 0
+        while self.step():
+            executed += 1
+            if max_steps is not None and executed > max_steps:
+                raise StepLimitExceeded(
+                    f"no quiescence within {max_steps} steps; "
+                    f"{self.in_flight()} messages still in flight"
+                )
+        return executed
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _execute_wake(self, token: WakeToken) -> None:
+        node = self.nodes[token.node]
+        if node.awake:
+            self._record(TraceEvent(self.steps, "wake-noop", None, token.node, None))
+            return
+        node.awake = True
+        self._record(TraceEvent(self.steps, "wake", None, token.node, None))
+        node.on_wake()
+
+    def _execute_deliver(self, token: DeliverToken) -> None:
+        channel = self._channels.get((token.src, token.dst))
+        if not channel:
+            raise SimulationError(
+                f"deliver token for empty channel {token.src!r} -> {token.dst!r}"
+            )
+        if self.channel_discipline == "fifo" or len(channel) == 1:
+            message = channel.popleft()
+        else:
+            index = self._channel_rng.randrange(len(channel))
+            message = channel[index]
+            del channel[index]
+        node = self.nodes[token.dst]
+        if not node.awake:
+            # Messages wake sleeping nodes (Section 1.2): initialize first.
+            node.awake = True
+            self._record(TraceEvent(self.steps, "wake", None, token.dst, None))
+            node.on_wake()
+        self._record(
+            TraceEvent(
+                self.steps,
+                "deliver",
+                token.src,
+                token.dst,
+                getattr(message, "msg_type", None),
+            )
+        )
+        node.on_message(token.src, message)
+
+    def _record(self, event: TraceEvent) -> None:
+        if self.trace is not None:
+            self.trace.append(event)

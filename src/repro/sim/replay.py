@@ -1,0 +1,100 @@
+"""Recording and replaying delivery schedules.
+
+Asynchronous bugs are schedule bugs: once a randomized run misbehaves, you
+want that *exact* interleaving back under a debugger.  Two wrappers make
+any execution reproducible independent of its original scheduling policy:
+
+* :class:`RecordingScheduler` wraps any scheduler and records the sequence
+  of executed tokens;
+* :class:`ReplayScheduler` replays such a recording verbatim, validating
+  at every step that the protocol actually produced the token being
+  replayed (a divergence means the code under test changed behaviour).
+
+Recordings are plain lists of tokens (hashable dataclasses), trivially
+serializable with ``repr``/``literal_eval`` if needed on disk.
+
+This is how the F2/F3 findings were minimized during development, and the
+tests keep the machinery honest.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from typing import Deque, Iterable, List, Optional, Sequence
+
+from repro.sim.events import Token
+from repro.sim.scheduler import Scheduler
+
+__all__ = ["RecordingScheduler", "ReplayScheduler", "ReplayDivergence"]
+
+
+class ReplayDivergence(RuntimeError):
+    """The execution produced different pending steps than the recording."""
+
+
+class RecordingScheduler(Scheduler):
+    """Delegates to ``inner`` and records every executed token."""
+
+    def __init__(self, inner: Scheduler) -> None:
+        self.inner = inner
+        self.decisions: List[Token] = []
+
+    def push(self, token: Token) -> None:
+        self.inner.push(token)
+
+    def pop(self, sim) -> Optional[Token]:
+        token = self.inner.pop(sim)
+        if token is not None:
+            self.decisions.append(token)
+        return token
+
+    def __len__(self) -> int:
+        return len(self.inner)
+
+    def pending(self) -> Iterable[Token]:
+        return self.inner.pending()
+
+
+class ReplayScheduler(Scheduler):
+    """Executes a recorded token sequence, step for step.
+
+    Every replayed token must currently be pending (pushed by the
+    execution and not yet executed); anything else raises
+    :class:`ReplayDivergence` with a precise description.
+    """
+
+    def __init__(self, decisions: Sequence[Token]) -> None:
+        self._script: Deque[Token] = deque(decisions)
+        self._pending: Counter = Counter()
+
+    def push(self, token: Token) -> None:
+        self._pending[token] += 1
+
+    def pop(self, sim) -> Optional[Token]:
+        if not self._script:
+            if self._pending:
+                raise ReplayDivergence(
+                    f"recording exhausted but {sum(self._pending.values())} "
+                    f"steps still pending (execution diverged)"
+                )
+            return None
+        token = self._script.popleft()
+        if self._pending[token] <= 0:
+            raise ReplayDivergence(
+                f"recorded step {token!r} is not pending "
+                f"(execution diverged from the recording)"
+            )
+        self._pending[token] -= 1
+        if self._pending[token] == 0:
+            del self._pending[token]
+        return token
+
+    def __len__(self) -> int:
+        return sum(self._pending.values())
+
+    def pending(self) -> Iterable[Token]:
+        return tuple(self._pending.elements())
+
+    @property
+    def remaining_script(self) -> int:
+        return len(self._script)

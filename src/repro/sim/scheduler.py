@@ -1,0 +1,181 @@
+"""Scheduling policies for the asynchronous simulator.
+
+The asynchronous model promises only that every message is delivered after a
+*finite but unbounded* time; which pending step happens next is up to an
+adversary.  A :class:`Scheduler` owns the pool of pending tokens and decides
+the order.  The stock policies are:
+
+* :class:`GlobalFifoScheduler` -- oldest pending step first.  Deterministic;
+  the closest analogue of a well-behaved network.
+* :class:`LifoScheduler` -- newest step first.  Deterministic; drives
+  executions depth-first and tends to produce long conquest chains.
+* :class:`RandomScheduler` -- uniformly random pending step, seeded.  The
+  workhorse for property-based testing.
+* :class:`AdversarialScheduler` -- wraps an :class:`Adversary` that may
+  *block* tokens; blocked tokens are simply not eligible.  When every
+  pending token is blocked the adversary is asked to release something
+  (``on_stall``), which is exactly the structure of the Theorem 1 lower
+  bound argument ("stall all messages sent by the root until both subtrees
+  have no more messages to send").
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import TYPE_CHECKING, Deque, Iterable, List, Optional
+
+from repro.sim.events import Token
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.sim.network import Simulator
+
+__all__ = [
+    "Scheduler",
+    "GlobalFifoScheduler",
+    "LifoScheduler",
+    "RandomScheduler",
+    "Adversary",
+    "AdversarialScheduler",
+]
+
+
+class Scheduler:
+    """Base class: a pool of pending tokens plus a selection rule."""
+
+    def push(self, token: Token) -> None:
+        raise NotImplementedError
+
+    def pop(self, sim: "Simulator") -> Optional[Token]:
+        """Return the next token to execute, or ``None`` if none is eligible.
+
+        Returning ``None`` while :meth:`__len__` is non-zero signals a stuck
+        execution (only possible with a misbehaving adversary); the
+        simulator raises in that case.
+        """
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def pending(self) -> Iterable[Token]:
+        """Iterate over pending tokens (diagnostics only)."""
+        raise NotImplementedError
+
+
+class GlobalFifoScheduler(Scheduler):
+    """Execute pending steps in the order they became pending."""
+
+    def __init__(self) -> None:
+        self._queue: Deque[Token] = deque()
+
+    def push(self, token: Token) -> None:
+        self._queue.append(token)
+
+    def pop(self, sim: "Simulator") -> Optional[Token]:
+        if not self._queue:
+            return None
+        return self._queue.popleft()
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def pending(self) -> Iterable[Token]:
+        return tuple(self._queue)
+
+
+class LifoScheduler(Scheduler):
+    """Execute the most recently created pending step first."""
+
+    def __init__(self) -> None:
+        self._stack: List[Token] = []
+
+    def push(self, token: Token) -> None:
+        self._stack.append(token)
+
+    def pop(self, sim: "Simulator") -> Optional[Token]:
+        if not self._stack:
+            return None
+        return self._stack.pop()
+
+    def __len__(self) -> int:
+        return len(self._stack)
+
+    def pending(self) -> Iterable[Token]:
+        return tuple(self._stack)
+
+
+class RandomScheduler(Scheduler):
+    """Uniformly random eligible step, deterministic under ``seed``."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+        self._pool: List[Token] = []
+
+    def push(self, token: Token) -> None:
+        self._pool.append(token)
+
+    def pop(self, sim: "Simulator") -> Optional[Token]:
+        if not self._pool:
+            return None
+        index = self._rng.randrange(len(self._pool))
+        token = self._pool[index]
+        # O(1) removal: swap with the tail.
+        self._pool[index] = self._pool[-1]
+        self._pool.pop()
+        return token
+
+    def __len__(self) -> int:
+        return len(self._pool)
+
+    def pending(self) -> Iterable[Token]:
+        return tuple(self._pool)
+
+
+class Adversary:
+    """Message-delay adversary interface.
+
+    ``blocks(token, sim)`` decides whether a pending step may run now;
+    ``on_stall(sim)`` is invoked when *every* pending step is blocked and
+    must unblock something (return ``True``) or concede (return ``False``,
+    which the simulator treats as an adversary bug and raises).
+    """
+
+    def blocks(self, token: Token, sim: "Simulator") -> bool:
+        raise NotImplementedError
+
+    def on_stall(self, sim: "Simulator") -> bool:
+        raise NotImplementedError
+
+
+class AdversarialScheduler(Scheduler):
+    """FIFO among tokens the adversary has not blocked."""
+
+    def __init__(self, adversary: Adversary) -> None:
+        self.adversary = adversary
+        self._queue: Deque[Token] = deque()
+
+    def push(self, token: Token) -> None:
+        self._queue.append(token)
+
+    def pop(self, sim: "Simulator") -> Optional[Token]:
+        while self._queue:
+            token = self._select(sim)
+            if token is not None:
+                return token
+            if not self.adversary.on_stall(sim):
+                return None
+        return None
+
+    def _select(self, sim: "Simulator") -> Optional[Token]:
+        for index, token in enumerate(self._queue):
+            if not self.adversary.blocks(token, sim):
+                del self._queue[index]
+                return token
+        return None
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def pending(self) -> Iterable[Token]:
+        return tuple(self._queue)

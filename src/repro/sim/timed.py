@@ -1,0 +1,95 @@
+"""Virtual-time scheduling: measuring *time* complexity in the async model.
+
+The standard time measure for asynchronous algorithms normalizes the
+maximum message delay to one unit and computation to zero: an execution's
+duration is the completion timestamp when every message takes (at most)
+one unit.  :class:`TimedScheduler` realises that measure -- every message
+is stamped ``now + latency`` at send time and deliveries happen in
+timestamp order -- so ``scheduler.now`` at quiescence *is* the paper's
+time complexity of the run.
+
+Section 7 of the paper discusses exactly this quantity: in the wake-up
+model where broadcast takes ``T`` time, Kutten-Peleg achieve
+``O(T + log n)`` while this paper's algorithm takes ``O(T + n)`` (its
+conquests serialize along the ``(phase, id)`` order).  EXP-15 measures
+that linear-time behaviour against the baselines' round counts.
+
+``latency`` may be a constant or a callable ``(src, dst) -> float`` for
+heterogeneous/jittered networks; correctness of the protocols is latency-
+independent (the safety tests run under it too), only the clock changes.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Dict, Hashable, Iterable, Optional, Tuple, Union
+
+from repro.sim.events import DeliverToken, Token, WakeToken
+from repro.sim.scheduler import Scheduler
+
+NodeId = Hashable
+Latency = Union[float, Callable[[NodeId, NodeId], float]]
+
+__all__ = ["TimedScheduler"]
+
+
+class TimedScheduler(Scheduler):
+    """Deliver messages in virtual-time order.
+
+    Parameters
+    ----------
+    latency:
+        Per-message delay: a positive constant (default 1.0 -- the
+        normalized asynchronous time measure) or a callable
+        ``(src, dst) -> float``.
+    wake_times:
+        Optional spontaneous wake-up times per node (default: all 0.0).
+        Setting a single late waker models the paper's wake-up parameter
+        ``T``.
+    """
+
+    def __init__(
+        self,
+        latency: Latency = 1.0,
+        *,
+        wake_times: Optional[Dict[NodeId, float]] = None,
+    ) -> None:
+        if not callable(latency) and latency <= 0:
+            raise ValueError(f"latency must be positive, got {latency}")
+        self._latency = latency
+        self._wake_times = dict(wake_times or {})
+        self._heap: list = []  # (time, seq, token)
+        self._seq = 0
+        #: the virtual clock: timestamp of the most recently executed step.
+        self.now = 0.0
+
+    def _delay(self, src: NodeId, dst: NodeId) -> float:
+        if callable(self._latency):
+            delay = self._latency(src, dst)
+        else:
+            delay = self._latency
+        if delay <= 0:
+            raise ValueError(f"latency for {src!r}->{dst!r} must be positive")
+        return delay
+
+    def push(self, token: Token) -> None:
+        if isinstance(token, WakeToken):
+            at = self._wake_times.get(token.node, 0.0)
+        else:
+            assert isinstance(token, DeliverToken)
+            at = self.now + self._delay(token.src, token.dst)
+        self._seq += 1
+        heapq.heappush(self._heap, (at, self._seq, token))
+
+    def pop(self, sim) -> Optional[Token]:
+        if not self._heap:
+            return None
+        at, _seq, token = heapq.heappop(self._heap)
+        self.now = max(self.now, at)
+        return token
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def pending(self) -> Iterable[Token]:
+        return tuple(token for _at, _seq, token in self._heap)

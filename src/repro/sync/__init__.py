@@ -1,0 +1,5 @@
+"""Synchronous round-based execution model for the baselines."""
+
+from repro.sync.engine import RoundLimitExceeded, SyncNode, SyncSimulator
+
+__all__ = ["SyncNode", "SyncSimulator", "RoundLimitExceeded"]

@@ -1,0 +1,105 @@
+"""Lock-step synchronous round engine.
+
+The baselines the paper compares against (Harchol-Balter et al.'s
+Name-Dropper, Law-Siu, the deterministic algorithm of Kutten-Peleg-Vishkin)
+are *synchronous* algorithms: computation proceeds in global rounds, and
+every message sent in round ``r`` is delivered at the start of round
+``r + 1``.  This engine provides that model with the same message/bit
+accounting interface as the asynchronous simulator, so comparison tables
+(EXP-11) report like for like.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, Iterable, List, Optional, Tuple
+
+from repro.sim.trace import MessageStats
+
+NodeId = Hashable
+
+__all__ = ["SyncNode", "SyncSimulator", "RoundLimitExceeded"]
+
+
+class RoundLimitExceeded(RuntimeError):
+    """The synchronous execution did not converge within the round budget."""
+
+
+class SyncNode:
+    """Base class for synchronous protocol participants.
+
+    Subclasses implement :meth:`on_round`, which receives the messages
+    delivered this round and returns the messages to send (delivered next
+    round).  A node signals that it has locally converged by returning an
+    empty outbox; the engine stops when a round moves no messages at all.
+    """
+
+    def __init__(self, node_id: NodeId) -> None:
+        self.node_id = node_id
+
+    def on_round(
+        self, round_no: int, inbox: List[Tuple[NodeId, Any]]
+    ) -> List[Tuple[NodeId, Any]]:
+        raise NotImplementedError
+
+
+class SyncSimulator:
+    """Run :class:`SyncNode` instances in lock-step rounds.
+
+    Parameters
+    ----------
+    id_bits:
+        Bits charged per node id, as in the asynchronous simulator.
+    """
+
+    def __init__(self, *, id_bits: int = 32) -> None:
+        self.nodes: Dict[NodeId, SyncNode] = {}
+        self.stats = MessageStats()
+        self.id_bits = id_bits
+        self.rounds = 0
+        self._mailboxes: Dict[NodeId, List[Tuple[NodeId, Any]]] = {}
+
+    def add_node(self, node: SyncNode) -> None:
+        if node.node_id in self.nodes:
+            raise ValueError(f"duplicate node id {node.node_id!r}")
+        self.nodes[node.node_id] = node
+        self._mailboxes[node.node_id] = []
+
+    def pending(self) -> int:
+        """Messages awaiting delivery at the next round."""
+        return sum(len(box) for box in self._mailboxes.values())
+
+    def step_round(self) -> int:
+        """Execute one global round; return the number of messages sent."""
+        self.rounds += 1
+        inboxes = self._mailboxes
+        self._mailboxes = {node_id: [] for node_id in self.nodes}
+        sent = 0
+        for node_id, node in self.nodes.items():
+            outbox = node.on_round(self.rounds, inboxes[node_id])
+            for dst, message in outbox:
+                if dst == node_id:
+                    raise ValueError(f"{node_id!r} sent a message to itself")
+                if dst not in self.nodes:
+                    raise KeyError(f"{node_id!r} sent to unknown node {dst!r}")
+                self.stats.record(message.msg_type, message.bit_size(self.id_bits))
+                self._mailboxes[dst].append((node_id, message))
+                sent += 1
+        return sent
+
+    def run(self, max_rounds: int = 100_000) -> int:
+        """Run rounds until one moves no messages; return rounds executed.
+
+        The first round always executes (nodes act spontaneously on round
+        1); afterwards a silent round -- nothing sent and nothing pending --
+        terminates the run.
+        """
+        while True:
+            sent = self.step_round()
+            pending = self.pending()
+            if sent == 0 and pending == 0:
+                return self.rounds
+            if self.rounds >= max_rounds:
+                raise RoundLimitExceeded(
+                    f"no convergence within {max_rounds} rounds "
+                    f"({pending} messages pending)"
+                )

@@ -1,0 +1,25 @@
+"""Sequential Union-Find substrate.
+
+The paper ties Asynchronous Resource Discovery to the classic Union-Find
+problem in both directions: the Ad-hoc algorithm's message complexity is
+analysed as a sequential union/find execution (Lemma 5.6), and the
+``Omega(n alpha(n, n))`` lower bound is proved by reduction from Union-Find
+on a pointer machine (Theorem 2).  This package provides the sequential side
+of that correspondence.
+"""
+
+from repro.unionfind.ackermann import ackermann, ackermann_exceeds, alpha, ilog2, inverse_ackermann
+from repro.unionfind.disjoint_set import FIND_RULES, LINK_RULES, DisjointSet
+from repro.unionfind.naive import QuickFind
+
+__all__ = [
+    "ackermann",
+    "ackermann_exceeds",
+    "alpha",
+    "ilog2",
+    "inverse_ackermann",
+    "DisjointSet",
+    "QuickFind",
+    "LINK_RULES",
+    "FIND_RULES",
+]

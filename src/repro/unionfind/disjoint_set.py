@@ -1,0 +1,255 @@
+"""Disjoint-set (Union-Find) forests with selectable heuristics.
+
+The paper's Ad-hoc Resource Discovery algorithm "simulates a sequential
+execution of Tarjan's classical union/find algorithm for disjoint sets"
+(Lemma 5.6), and its lower bound (Theorem 2) reduces from Union-Find on a
+pointer machine with the separation property.  This module provides the
+sequential data structure in the configurations relevant to the paper:
+
+* **linking rules**: by rank, by size, or naive (always link first root under
+  second) -- the protocol's ``(phase, id)`` comparison corresponds to union
+  by rank with ids breaking ties;
+* **find rules**: full path compression, path splitting, path halving, or no
+  compression -- the protocol's ``release`` messages implement full path
+  compression along ``previous`` queues.
+
+Instances also count pointer operations (parent reads and parent writes) so
+benchmarks can compare the sequential cost curve against the distributed
+algorithm's message curve (EXP-2, EXP-14).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional
+
+__all__ = ["DisjointSet", "LINK_RULES", "FIND_RULES"]
+
+LINK_RULES = ("rank", "size", "naive")
+FIND_RULES = ("compress", "split", "halve", "none")
+
+
+@dataclass
+class _OpCounter:
+    """Pointer-machine cost model: parent-pointer reads and writes."""
+
+    reads: int = 0
+    writes: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.reads + self.writes
+
+
+class DisjointSet:
+    """A forest of disjoint sets over arbitrary hashable elements.
+
+    Elements are created lazily by :meth:`make_set` (or on first use when
+    ``auto_create=True``).  The structure satisfies the *separation
+    property*: no element of one set ever holds a pointer to an element of a
+    different set, matching the pointer-machine model of Tarjan's lower
+    bound that the paper's Theorem 2 invokes.
+
+    Parameters
+    ----------
+    elements:
+        Optional initial elements, each placed in its own singleton set.
+    link_rule:
+        One of ``"rank"``, ``"size"``, ``"naive"``.
+    find_rule:
+        One of ``"compress"``, ``"split"``, ``"halve"``, ``"none"``.
+    auto_create:
+        When true, :meth:`find` and :meth:`union` create unknown elements on
+        the fly instead of raising ``KeyError``.
+    """
+
+    def __init__(
+        self,
+        elements: Optional[Iterable[Hashable]] = None,
+        *,
+        link_rule: str = "rank",
+        find_rule: str = "compress",
+        auto_create: bool = False,
+    ) -> None:
+        if link_rule not in LINK_RULES:
+            raise ValueError(f"link_rule must be one of {LINK_RULES}, got {link_rule!r}")
+        if find_rule not in FIND_RULES:
+            raise ValueError(f"find_rule must be one of {FIND_RULES}, got {find_rule!r}")
+        self.link_rule = link_rule
+        self.find_rule = find_rule
+        self.auto_create = auto_create
+        self._parent: Dict[Hashable, Hashable] = {}
+        self._rank: Dict[Hashable, int] = {}
+        self._size: Dict[Hashable, int] = {}
+        self._n_sets = 0
+        self.counter = _OpCounter()
+        for element in elements or ():
+            self.make_set(element)
+
+    # ------------------------------------------------------------------
+    # Basic protocol
+    # ------------------------------------------------------------------
+    def make_set(self, x: Hashable) -> None:
+        """Place ``x`` in a new singleton set; no-op if already present."""
+        if x in self._parent:
+            return
+        self._parent[x] = x
+        self._rank[x] = 0
+        self._size[x] = 1
+        self._n_sets += 1
+
+    def __contains__(self, x: Hashable) -> bool:
+        return x in self._parent
+
+    def __len__(self) -> int:
+        """Number of elements (not sets)."""
+        return len(self._parent)
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._parent)
+
+    @property
+    def n_sets(self) -> int:
+        """Number of disjoint sets currently in the forest."""
+        return self._n_sets
+
+    def _require(self, x: Hashable) -> None:
+        if x not in self._parent:
+            if self.auto_create:
+                self.make_set(x)
+            else:
+                raise KeyError(f"unknown element {x!r}")
+
+    # ------------------------------------------------------------------
+    # Find
+    # ------------------------------------------------------------------
+    def find(self, x: Hashable) -> Hashable:
+        """Return the representative of the set containing ``x``.
+
+        Applies the configured compression heuristic and charges pointer
+        reads/writes to :attr:`counter`.
+        """
+        self._require(x)
+        if self.find_rule == "compress":
+            return self._find_compress(x)
+        if self.find_rule == "split":
+            return self._find_split(x)
+        if self.find_rule == "halve":
+            return self._find_halve(x)
+        return self._find_plain(x)
+
+    def _root_of(self, x: Hashable) -> Hashable:
+        while True:
+            parent = self._parent[x]
+            self.counter.reads += 1
+            if parent == x:
+                return x
+            x = parent
+
+    def _find_plain(self, x: Hashable) -> Hashable:
+        return self._root_of(x)
+
+    def _find_compress(self, x: Hashable) -> Hashable:
+        root = self._root_of(x)
+        while True:
+            parent = self._parent[x]
+            self.counter.reads += 1
+            if parent == root or parent == x:
+                break
+            self._parent[x] = root
+            self.counter.writes += 1
+            x = parent
+        return root
+
+    def _find_split(self, x: Hashable) -> Hashable:
+        while True:
+            parent = self._parent[x]
+            self.counter.reads += 1
+            if parent == x:
+                return x
+            grandparent = self._parent[parent]
+            self.counter.reads += 1
+            if grandparent == parent:
+                return parent
+            self._parent[x] = grandparent
+            self.counter.writes += 1
+            x = parent
+
+    def _find_halve(self, x: Hashable) -> Hashable:
+        while True:
+            parent = self._parent[x]
+            self.counter.reads += 1
+            if parent == x:
+                return x
+            grandparent = self._parent[parent]
+            self.counter.reads += 1
+            if grandparent == parent:
+                return parent
+            self._parent[x] = grandparent
+            self.counter.writes += 1
+            x = grandparent
+
+    # ------------------------------------------------------------------
+    # Union
+    # ------------------------------------------------------------------
+    def union(self, x: Hashable, y: Hashable) -> Hashable:
+        """Merge the sets containing ``x`` and ``y``; return the new root."""
+        self._require(x)
+        self._require(y)
+        root_x = self.find(x)
+        root_y = self.find(y)
+        if root_x == root_y:
+            return root_x
+        return self._link(root_x, root_y)
+
+    def _link(self, root_x: Hashable, root_y: Hashable) -> Hashable:
+        if self.link_rule == "rank":
+            if self._rank[root_x] < self._rank[root_y]:
+                root_x, root_y = root_y, root_x
+            winner, loser = root_x, root_y
+            if self._rank[winner] == self._rank[loser]:
+                self._rank[winner] += 1
+        elif self.link_rule == "size":
+            if self._size[root_x] < self._size[root_y]:
+                root_x, root_y = root_y, root_x
+            winner, loser = root_x, root_y
+        else:  # naive
+            winner, loser = root_y, root_x
+        self._parent[loser] = winner
+        self.counter.writes += 1
+        self._size[winner] += self._size[loser]
+        self._n_sets -= 1
+        return winner
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def connected(self, x: Hashable, y: Hashable) -> bool:
+        """Return whether ``x`` and ``y`` are in the same set."""
+        return self.find(x) == self.find(y)
+
+    def set_size(self, x: Hashable) -> int:
+        """Return the number of elements in the set containing ``x``."""
+        return self._size[self.find(x)]
+
+    def sets(self) -> Dict[Hashable, List[Hashable]]:
+        """Return ``{representative: sorted members}`` for every set."""
+        grouped: Dict[Hashable, List[Hashable]] = {}
+        for element in self._parent:
+            grouped.setdefault(self.find(element), []).append(element)
+        for members in grouped.values():
+            members.sort(key=repr)
+        return grouped
+
+    def depth_of(self, x: Hashable) -> int:
+        """Return the current pointer-chain length from ``x`` to its root.
+
+        Does not apply compression and does not charge the counter; used by
+        tests asserting structural consequences of the heuristics.
+        """
+        self._require(x)
+        depth = 0
+        while self._parent[x] != x:
+            x = self._parent[x]
+            depth += 1
+        return depth

@@ -1,0 +1,64 @@
+"""Quick-find reference implementation of disjoint sets.
+
+This is the obviously-correct O(n)-per-union structure used as a test oracle
+for :class:`repro.unionfind.disjoint_set.DisjointSet` and for the Union-Find
+reduction experiment (EXP-2): every configuration of the forest structure
+must answer ``connected`` identically to this one on every operation
+sequence.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Optional
+
+__all__ = ["QuickFind"]
+
+
+class QuickFind:
+    """Disjoint sets as an explicit element -> label map."""
+
+    def __init__(self, elements: Optional[Iterable[Hashable]] = None) -> None:
+        self._label: Dict[Hashable, Hashable] = {}
+        for element in elements or ():
+            self.make_set(element)
+
+    def make_set(self, x: Hashable) -> None:
+        """Place ``x`` in a singleton set; no-op if present."""
+        if x not in self._label:
+            self._label[x] = x
+
+    def __contains__(self, x: Hashable) -> bool:
+        return x in self._label
+
+    def __len__(self) -> int:
+        return len(self._label)
+
+    @property
+    def n_sets(self) -> int:
+        return len(set(self._label.values()))
+
+    def find(self, x: Hashable) -> Hashable:
+        """Return the label of the set containing ``x``."""
+        return self._label[x]
+
+    def union(self, x: Hashable, y: Hashable) -> Hashable:
+        """Merge the sets of ``x`` and ``y``; the label of ``y``'s set wins."""
+        label_x = self._label[x]
+        label_y = self._label[y]
+        if label_x == label_y:
+            return label_x
+        for element, label in list(self._label.items()):
+            if label == label_x:
+                self._label[element] = label_y
+        return label_y
+
+    def connected(self, x: Hashable, y: Hashable) -> bool:
+        return self._label[x] == self._label[y]
+
+    def members(self, x: Hashable) -> List[Hashable]:
+        """Return the sorted members of ``x``'s set."""
+        label = self._label[x]
+        return sorted(
+            (element for element, other in self._label.items() if other == label),
+            key=repr,
+        )

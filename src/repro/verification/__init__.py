@@ -1,0 +1,44 @@
+"""Invariant and complexity-lemma checkers used after every execution."""
+
+from repro.verification.invariants import (
+    InvariantReport,
+    InvariantViolation,
+    verify_discovery,
+)
+from repro.verification.liveness import StagedLivenessReport, staged_liveness_check
+from repro.verification.monitor import (
+    SafetyViolation,
+    StepwiseMonitor,
+    check_safety_now,
+)
+from repro.verification.lemmas import (
+    LemmaCheck,
+    check_all_lemmas,
+    lemma_5_5_queries,
+    lemma_5_6_search_release,
+    lemma_5_7_merges,
+    lemma_5_8_conquers,
+    lemma_5_9_reply_ids,
+    lemma_5_10_info_ids,
+    theorem_7_bits,
+)
+
+__all__ = [
+    "InvariantReport",
+    "InvariantViolation",
+    "verify_discovery",
+    "LemmaCheck",
+    "check_all_lemmas",
+    "lemma_5_5_queries",
+    "lemma_5_6_search_release",
+    "lemma_5_7_merges",
+    "lemma_5_8_conquers",
+    "lemma_5_9_reply_ids",
+    "lemma_5_10_info_ids",
+    "theorem_7_bits",
+    "StepwiseMonitor",
+    "SafetyViolation",
+    "check_safety_now",
+    "staged_liveness_check",
+    "StagedLivenessReport",
+]

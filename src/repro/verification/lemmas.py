@@ -1,0 +1,211 @@
+"""Per-message-type complexity checks (Section 5.2/5.3's lemmas).
+
+Each function takes the :class:`~repro.sim.trace.MessageStats` of a
+finished run plus the instance parameters and returns a
+:class:`LemmaCheck` recording the bound, the measured value, and whether
+the bound holds.  The exact lemmas (5.5, 5.7, 5.8) are hard inequalities
+the paper proves for *every* execution, so the tests assert them with the
+paper's own constants.  The asymptotic ones (5.6, Theorem 7) carry an
+unknown constant; we expose the measured/bound ratio and assert it under a
+generous default that any correct implementation meets with slack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.sim.trace import HEADER_BITS, MessageStats
+from repro.unionfind.ackermann import alpha, ilog2
+
+__all__ = [
+    "LemmaCheck",
+    "lemma_5_5_queries",
+    "lemma_5_6_search_release",
+    "lemma_5_7_merges",
+    "lemma_5_8_conquers",
+    "lemma_5_9_reply_ids",
+    "lemma_5_10_info_ids",
+    "theorem_7_bits",
+    "check_all_lemmas",
+]
+
+
+@dataclass(frozen=True)
+class LemmaCheck:
+    """One bound vs. one measurement."""
+
+    name: str
+    measured: float
+    bound: float
+    holds: bool
+
+    @property
+    def ratio(self) -> float:
+        return self.measured / self.bound if self.bound else float("inf")
+
+    def __str__(self) -> str:
+        flag = "ok " if self.holds else "FAIL"
+        return f"[{flag}] {self.name}: measured={self.measured} bound={self.bound}"
+
+
+def lemma_5_5_queries(stats: MessageStats, n: int) -> LemmaCheck:
+    """Lemma 5.5's query traffic, with a corrected constant: at most ``6n``.
+
+    The paper bounds query + query-reply pairs by ``4n``: ``2n`` moves into
+    ``done`` plus ``2n`` pairs that replenish ``unexplored``.  Two counted
+    events are undercounted in that argument (reproduction finding F4):
+    a ``done -> more`` reopening also happens when the search that set the
+    ``new`` flag ends in an *abort* (the initiator goes passive, not
+    inactive, so "at most n" does not apply), and the finding-F2 repair --
+    required for liveness -- re-opens a dead initiator's own entry once per
+    leader death.  Charging moves-to-done <= 3n, reopened self-entries
+    <= n, and searches <= 2n gives ``6n``; schedules exist (e.g. LIFO
+    delivery) that exceed ``4n`` while safety holds.
+    """
+    measured = stats.messages("query", "query-reply")
+    bound = 6 * n
+    return LemmaCheck(
+        "Lemma 5.5 (query+reply <= 6n, corrected)", measured, bound, measured <= bound
+    )
+
+
+def lemma_5_6_search_release(
+    stats: MessageStats, n: int, *, constant: int = 16
+) -> LemmaCheck:
+    """Lemma 5.6: ``O(n alpha(n, n))`` search and release messages.
+
+    The constant is not pinned by the paper; ``constant=16`` is far above
+    what the Tarjan/van Leeuwen analysis yields, so a failure indicates a
+    real blow-up, not a constant-factor quibble.
+    """
+    measured = stats.messages("search", "release")
+    bound = constant * max(1, n) * alpha(max(1, n), max(1, n))
+    return LemmaCheck(
+        "Lemma 5.6 (search+release = O(n alpha))", measured, bound, measured <= bound
+    )
+
+
+def lemma_5_7_merges(stats: MessageStats, n: int) -> LemmaCheck:
+    """Lemma 5.7's merge traffic, with a corrected constant: at most ``3n``.
+
+    The paper states ``2n``, reasoning that a node sending ``release-merge``
+    never returns to a leader state.  That undercounts one real execution
+    pattern: a conquered node that receives ``merge-fail`` goes *passive*
+    (Figure 6) and can later be conquered again, sending a second
+    ``release-merge``.  Each ``merge-fail`` is still charged to a unique
+    leader death with an outstanding search (at most ``n``), and each
+    successful merge costs ``merge-accept + info`` (at most ``2(n-1)``), so
+    the tight bound is ``3n``; executions exceeding ``2n`` are observed in
+    practice (see EXPERIMENTS.md, finding F1) and are not a bug.
+    """
+    measured = stats.messages("merge-accept", "merge-fail", "info")
+    bound = 3 * n
+    return LemmaCheck(
+        "Lemma 5.7 (merge traffic <= 3n, corrected)", measured, bound, measured <= bound
+    )
+
+
+def lemma_5_8_conquers(stats: MessageStats, n: int, variant: str) -> LemmaCheck:
+    """Lemma 5.8: conquer + more/done <= ``2 n log n`` (generic), ``2n``
+    (bounded), and 0 for Ad-hoc (which never conquers)."""
+    measured = stats.messages("conquer", "more-done")
+    if variant == "generic":
+        bound = 2 * max(1, n) * max(1, ilog2(max(2, n)) + 1)
+        name = "Lemma 5.8 (conquer traffic <= 2n log n)"
+    elif variant == "bounded":
+        bound = 2 * n
+        name = "Lemma 5.8 (bounded conquer traffic <= 2n)"
+    else:
+        bound = 0
+        name = "Lemma 5.8 (ad-hoc sends no conquers)"
+    return LemmaCheck(name, measured, bound, measured <= bound)
+
+
+def lemma_5_9_reply_ids(
+    stats: MessageStats, n: int, n_edges: int, id_bits: int
+) -> LemmaCheck:
+    """Lemma 5.9: ids carried in query replies, corrected to ``2|E0| + n``.
+
+    The paper's charge is exact: each ``E0`` edge contributes its head id
+    at most once (first report) and its tail id at most once (the reverse
+    edge created by a search's target absorption) -- ``2|E0|`` ids.  The
+    finding-F2 repair re-feeds at most one release-learned id per leader
+    death into ``local``, adding at most ``n`` re-reports.
+
+    The id count is reconstructed exactly from the bit accounting: a
+    query-reply costs ``HEADER + |ids| * id_bits + 1`` bits.
+    """
+    count = stats.messages("query-reply")
+    bits = stats.bits("query-reply")
+    ids_total = (bits - (HEADER_BITS + 1) * count) // max(1, id_bits)
+    bound = 2 * n_edges + n
+    return LemmaCheck(
+        "Lemma 5.9 (reply ids <= 2|E0| + n, corrected)",
+        ids_total,
+        bound,
+        ids_total <= bound,
+    )
+
+
+def lemma_5_10_info_ids(
+    stats: MessageStats, n: int, id_bits: int
+) -> LemmaCheck:
+    """Lemma 5.10: ids carried in info messages are at most ``4 n log2 n``
+    (the ``4 n log^2 n`` bit bound divided by the ``log n`` bits per id).
+
+    Holds because every leader keeps ``|more|+|done|+|unaware| < 2^(phase+1)``
+    and ``|unexplored| <= 2^(phase+1)`` (the Section 4.1 query balance), and
+    at most ``n / 2^i`` leaders ever reach phase ``i``.
+    """
+    count = stats.messages("info")
+    bits = stats.bits("info")
+    # Info costs HEADER + (n_ids + 1) * id_bits (the +1 is the phase field).
+    ids_total = (bits - HEADER_BITS * count) // max(1, id_bits) - count
+    log_n = max(1, ilog2(max(2, n)) + 1)
+    bound = 4 * n * log_n
+    return LemmaCheck(
+        "Lemma 5.10 (info ids <= 4n log n)", ids_total, bound, ids_total <= bound
+    )
+
+
+def theorem_7_bits(
+    stats: MessageStats, n: int, n_edges: int, *, constant: int = 24
+) -> LemmaCheck:
+    """Theorem 7: total bits ``O(|E0| log n + n log^2 n)``."""
+    log_n = max(1, ilog2(max(2, n)) + 1)
+    measured = stats.total_bits
+    bound = constant * (max(1, n_edges) * log_n + n * log_n * log_n)
+    return LemmaCheck(
+        "Theorem 7 (bits = O(|E0| log n + n log^2 n))",
+        measured,
+        bound,
+        measured <= bound,
+    )
+
+
+def check_all_lemmas(
+    stats: MessageStats,
+    n: int,
+    n_edges: int,
+    variant: str,
+    *,
+    id_bits: Optional[int] = None,
+) -> List[LemmaCheck]:
+    """Run every applicable per-type bound; callers assert ``all(c.holds)``.
+
+    ``id_bits`` (default ``ceil(log2 n)``, matching the runners) enables the
+    exact id-count reconstructions of Lemmas 5.9 and 5.10.
+    """
+    if id_bits is None:
+        id_bits = 1 if n <= 1 else (n - 1).bit_length()
+    checks = [
+        lemma_5_5_queries(stats, n),
+        lemma_5_6_search_release(stats, n),
+        lemma_5_7_merges(stats, n),
+        lemma_5_8_conquers(stats, n, variant),
+        lemma_5_9_reply_ids(stats, n, n_edges, id_bits),
+        lemma_5_10_info_ids(stats, n, id_bits),
+        theorem_7_bits(stats, n, n_edges),
+    ]
+    return checks

@@ -1,0 +1,158 @@
+"""Stepwise safety monitoring (the "at any phase" part of Section 1.2).
+
+The problem definition requires its safety properties to hold *throughout*
+the execution, not only at quiescence.  :class:`StepwiseMonitor` attaches
+to a simulator and, after every executed step, checks the strongest
+invariants that are schedule-independent (i.e. hold between any two atomic
+steps):
+
+I1  **pointer-forest acyclicity** -- following ``next`` pointers from any
+    node terminates at a root (a node whose pointer is itself); roots are
+    leaders, or ex-leaders still resolving (passive/conquered).  A cycle
+    would orphan entire subtrees (this is the invariant finding F3's phase
+    guard protects).
+
+I2  **ownership exclusivity** -- a node id appears in the
+    ``more | done | unaware`` sets of at most one node in a leaderish
+    state (the merge protocol transfers set ownership wholesale; double
+    ownership would double-count and break the accounting lemmas).
+
+I3  **set disjointness** -- within one node, ``more``, ``done`` and
+    ``unaware`` are pairwise disjoint, and a leader's own id is in
+    ``more | done``.
+
+I4  **root sanity** -- every inactive node's pointer leaves itself (it was
+    conquered by someone), and every leaderish node's pointer is itself
+    until it merges.
+
+Checking costs O(n) per step, so the monitor is a test-and-debug tool for
+small instances, not part of production runs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Set
+
+from repro.core.node import DiscoveryNode
+from repro.sim.network import SimulationError, Simulator
+
+NodeId = Hashable
+
+__all__ = ["StepwiseMonitor", "SafetyViolation", "check_safety_now"]
+
+#: States in which a node still owns bookkeeping sets.
+_OWNING_STATES = frozenset(
+    {"explore", "wait", "conqueror", "terminated", "passive", "conquered"}
+)
+
+
+class SafetyViolation(AssertionError):
+    """A stepwise safety invariant failed mid-execution."""
+
+
+def check_safety_now(nodes: Dict[NodeId, DiscoveryNode], *, step: int = -1) -> None:
+    """Check invariants I1-I4 on the current node states; raise on failure."""
+    _check_pointer_forest(nodes, step)
+    _check_ownership(nodes, step)
+    _check_local_consistency(nodes, step)
+
+
+def _check_pointer_forest(nodes: Dict[NodeId, DiscoveryNode], step: int) -> None:
+    resolved: Dict[NodeId, bool] = {}
+    for start, node in nodes.items():
+        if not node.awake:
+            continue
+        path = []
+        current = start
+        seen: Set[NodeId] = set()
+        while current not in resolved:
+            if current in seen:
+                raise SafetyViolation(
+                    f"step {step}: next-pointer cycle through {current!r} "
+                    f"(path {path[-6:]})"
+                )
+            seen.add(current)
+            path.append(current)
+            follower = nodes[current]
+            if follower.next == current:
+                resolved[current] = True
+                break
+            current = follower.next
+        for visited in path:
+            resolved[visited] = True
+
+
+def _check_ownership(nodes: Dict[NodeId, DiscoveryNode], step: int) -> None:
+    owner_of: Dict[NodeId, NodeId] = {}
+    for node_id, node in nodes.items():
+        if node.status not in _OWNING_STATES:
+            continue
+        for member in node.more | node.done | node.unaware:
+            if member == node_id:
+                continue
+            if member in owner_of:
+                raise SafetyViolation(
+                    f"step {step}: {member!r} owned by both "
+                    f"{owner_of[member]!r} and {node_id!r}"
+                )
+            owner_of[member] = node_id
+
+
+def _check_local_consistency(nodes: Dict[NodeId, DiscoveryNode], step: int) -> None:
+    for node_id, node in nodes.items():
+        if node.more & node.done:
+            raise SafetyViolation(
+                f"step {step}: {node_id!r} has more/done overlap "
+                f"{sorted(node.more & node.done, key=repr)[:4]}"
+            )
+        if node.unaware & (node.more | node.done):
+            raise SafetyViolation(
+                f"step {step}: {node_id!r} has unaware overlap"
+            )
+        if node.status in _OWNING_STATES and node_id not in (node.more | node.done):
+            raise SafetyViolation(
+                f"step {step}: {node_id!r} ({node.status}) lost its own entry"
+            )
+        if node.status == "inactive" and node.next == node_id:
+            raise SafetyViolation(
+                f"step {step}: inactive {node_id!r} points at itself"
+            )
+
+
+class StepwiseMonitor:
+    """Wraps a simulator's step loop with per-step safety checks.
+
+    Usage::
+
+        sim, nodes = build_simulation(graph, "generic")
+        monitor = StepwiseMonitor(sim, nodes)
+        monitor.run()          # like sim.run(), but checked every step
+        print(monitor.steps_checked)
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        nodes: Dict[NodeId, DiscoveryNode],
+        *,
+        every: int = 1,
+    ) -> None:
+        if every < 1:
+            raise ValueError(f"every must be >= 1, got {every}")
+        self.sim = sim
+        self.nodes = nodes
+        self.every = every
+        self.steps_checked = 0
+
+    def run(self, max_steps: int = 10**7) -> int:
+        executed = 0
+        while self.sim.step():
+            executed += 1
+            if executed > max_steps:
+                raise SimulationError(f"no quiescence within {max_steps} steps")
+            if executed % self.every == 0:
+                check_safety_now(self.nodes, step=self.sim.steps)
+                self.steps_checked += 1
+        check_safety_now(self.nodes, step=self.sim.steps)
+        self.steps_checked += 1
+        return executed

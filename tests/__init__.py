@@ -1,0 +1,7 @@
+"""Test package marker.
+
+Present so the suite's ``from tests.conftest import run_and_verify``
+imports work under a bare ``pytest`` invocation as well as
+``python -m pytest`` (pytest then treats the repo root as the package
+root and puts it on ``sys.path``).
+"""

@@ -1,0 +1,37 @@
+"""Shared helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.adhoc import run_adhoc
+from repro.core.bounded import run_bounded
+from repro.core.generic import run_generic
+from repro.verification.invariants import verify_discovery
+from repro.verification.lemmas import check_all_lemmas
+
+RUNNERS = {
+    "generic": run_generic,
+    "bounded": run_bounded,
+    "adhoc": run_adhoc,
+}
+
+
+def run_and_verify(variant, graph, **kwargs):
+    """Run a variant to quiescence, check every invariant and lemma, and
+    return the result.  The workhorse of the integration tests."""
+    result = RUNNERS[variant](graph, **kwargs)
+    verify_discovery(result, graph)
+    failed = [
+        str(check)
+        for check in check_all_lemmas(result.stats, graph.n, graph.n_edges, variant)
+        if not check.holds
+    ]
+    assert not failed, f"lemma violations on {variant}: {failed}"
+    return result
+
+
+@pytest.fixture(params=sorted(RUNNERS))
+def variant(request):
+    """Parametrize a test over all three algorithm variants."""
+    return request.param

@@ -1,0 +1,125 @@
+"""Unit tests for Ackermann's function and the paper's inverse alpha."""
+
+import pytest
+
+from repro.unionfind.ackermann import (
+    ackermann,
+    ackermann_exceeds,
+    alpha,
+    ilog2,
+    inverse_ackermann,
+)
+
+
+class TestIlog2:
+    def test_powers_of_two(self):
+        for k in range(20):
+            assert ilog2(2**k) == k
+
+    def test_between_powers(self):
+        assert ilog2(3) == 1
+        assert ilog2(5) == 2
+        assert ilog2(1023) == 9
+        assert ilog2(1025) == 10
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            ilog2(0)
+        with pytest.raises(ValueError):
+            ilog2(-4)
+
+
+class TestAckermann:
+    """Closed forms for the first rows of the Tarjan convention:
+    A(0,n)=n+1, A(1,n)=n+2, A(2,n)=2n+3, A(3,n)=2^(n+3)-3."""
+
+    def test_row_zero(self):
+        for n in range(50):
+            assert ackermann(0, n) == n + 1
+
+    def test_row_one(self):
+        for n in range(50):
+            assert ackermann(1, n) == n + 2
+
+    def test_row_two(self):
+        for n in range(30):
+            assert ackermann(2, n) == 2 * n + 3
+
+    def test_row_three(self):
+        for n in range(8):
+            assert ackermann(3, n) == 2 ** (n + 3) - 3
+
+    def test_row_four_base(self):
+        # A(4,0) = A(3,1) = 2^4 - 3 = 13.
+        assert ackermann(4, 0) == 13
+
+    def test_clamp_reports_above(self):
+        # A(4,2) is astronomically large; the clamp caps the report.
+        assert ackermann(4, 2, clamp=1000) == 1001
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ackermann(-1, 0)
+        with pytest.raises(ValueError):
+            ackermann(0, -1)
+
+
+class TestAckermannExceeds:
+    def test_exact_threshold_boundary(self):
+        # A(2, 5) = 13: exceeds 12, does not exceed 13.
+        assert ackermann_exceeds(2, 5, 12)
+        assert not ackermann_exceeds(2, 5, 13)
+
+    def test_negative_threshold_always_exceeded(self):
+        assert ackermann_exceeds(0, 0, -1)
+
+    def test_huge_value_vs_small_threshold(self):
+        assert ackermann_exceeds(4, 4, 10**9)
+
+
+class TestAlpha:
+    def test_tiny_universe(self):
+        assert alpha(0, 1) == 1
+        assert alpha(10, 1) == 1
+        assert alpha(1, 2) == 1
+
+    def test_practical_values_are_small(self):
+        # alpha is <= 3 for every n below 2^16 and <= 4 for anything that
+        # fits in a universe of physical computers.
+        assert alpha(100, 100) <= 3
+        assert alpha(10**6, 10**6) <= 4
+        assert alpha(10**9, 10**9) <= 4
+
+    def test_more_operations_never_increase_alpha(self):
+        for n in (4, 64, 4096):
+            values = [alpha(m, n) for m in (n, 2 * n, 8 * n, 64 * n)]
+            assert values == sorted(values, reverse=True)
+
+    def test_matches_definition_bruteforce(self):
+        # Independently evaluate min{i : A(i, m//n) > log2 n} with the
+        # closed forms of the first rows.
+        def closed(i, j):
+            if i == 1:
+                return j + 2
+            if i == 2:
+                return 2 * j + 3
+            if i == 3:
+                return 2 ** (j + 3) - 3
+            raise AssertionError("test only covers i <= 3")
+
+        for n in (2, 7, 100, 5000):
+            for m in (n, 3 * n, 10 * n):
+                threshold = ilog2(n)
+                expected = next(
+                    i for i in (1, 2, 3) if closed(i, m // n) > threshold
+                )
+                assert inverse_ackermann(m, n) == expected
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            alpha(10, 0)
+        with pytest.raises(ValueError):
+            alpha(-1, 10)
+
+    def test_alias(self):
+        assert alpha(123, 45) == inverse_ackermann(123, 45)

@@ -1,0 +1,119 @@
+"""Unit tests for the synchronous baseline node internals."""
+
+import random
+
+import pytest
+
+from repro.baselines.common import IdSetMessage, SmallMessage
+from repro.baselines.flooding import FloodingNode
+from repro.baselines.law_siu import LawSiuNode
+from repro.baselines.name_dropper import NameDropperNode
+from repro.baselines.pointer_jump import PointerJumpNode
+from repro.baselines.swamping import SwampingNode
+
+
+class TestFloodingNode:
+    def test_pushes_to_everyone_on_first_round(self):
+        node = FloodingNode(0, frozenset({1, 2}))
+        out = node.on_round(1, [])
+        assert {dst for dst, _ in out} == {1, 2}
+        payload = out[0][1]
+        assert payload.ids == frozenset({0, 1, 2})
+
+    def test_goes_quiet_without_news(self):
+        node = FloodingNode(0, frozenset({1}))
+        node.on_round(1, [])
+        assert node.on_round(2, []) == []
+
+    def test_reactivates_on_new_ids(self):
+        node = FloodingNode(0, frozenset({1}))
+        node.on_round(1, [])
+        out = node.on_round(2, [(1, IdSetMessage(frozenset({2}), msg_type="flood"))])
+        assert out  # learned 2 (and confirmed 1): pushes again
+        assert node.known == {0, 1, 2}
+
+    def test_sender_id_is_learned(self):
+        node = FloodingNode(0, frozenset())
+        node.on_round(1, [(9, IdSetMessage(frozenset(), msg_type="flood"))])
+        assert 9 in node.known
+
+
+class TestSwampingNode:
+    def test_swamps_every_round_even_without_news(self):
+        node = SwampingNode(0, frozenset({1}))
+        assert node.on_round(1, [])
+        assert node.on_round(2, [])  # flooding would be quiet here
+
+    def test_isolated_node_is_silent(self):
+        node = SwampingNode(0, frozenset())
+        assert node.on_round(1, []) == []
+
+
+class TestNameDropperNode:
+    def test_sends_to_exactly_one_neighbor(self):
+        node = NameDropperNode(0, frozenset({1, 2, 3}), random.Random(4))
+        out = node.on_round(1, [])
+        assert len(out) == 1
+        dst, payload = out[0]
+        assert dst in {1, 2, 3}
+        assert payload.ids == frozenset({0, 1, 2, 3})
+
+    def test_merges_incoming_without_self(self):
+        node = NameDropperNode(0, frozenset({1}), random.Random(4))
+        node.on_round(1, [(2, IdSetMessage(frozenset({0, 5}), msg_type="name-drop"))])
+        assert node.neighbors == {1, 2, 5}  # self dropped, sender learned
+
+
+class TestPointerJumpNode:
+    def test_request_answered_with_full_set(self):
+        node = PointerJumpNode(0, frozenset({1}), random.Random(2))
+        out = node.on_round(1, [(9, SmallMessage("pj-request", n_ids=0))])
+        replies = [(dst, m) for dst, m in out if m.msg_type == "pj-reply"]
+        assert len(replies) == 1
+        dst, reply = replies[0]
+        assert dst == 9
+        assert reply.ids == frozenset({0, 1})
+
+    def test_absorbs_replies(self):
+        node = PointerJumpNode(0, frozenset({1}), random.Random(2))
+        node.on_round(1, [(1, IdSetMessage(frozenset({7}), msg_type="pj-reply"))])
+        assert node.neighbors == {1, 7}
+
+    def test_isolated_node_never_requests(self):
+        node = PointerJumpNode(0, frozenset(), random.Random(2))
+        assert node.on_round(1, []) == []
+
+
+class TestLawSiuNode:
+    def make(self, node_id, frontier, seed):
+        return LawSiuNode(node_id, frozenset(frontier), random.Random(seed))
+
+    def test_tails_never_calls(self):
+        node = self.make(0, {1}, seed=0)
+        called = rejected = 0
+        for round_no in range(1, 40):
+            out = node.on_round(round_no, [])
+            if out:
+                called += 1
+                node.call_outstanding = False  # pretend the reply arrived
+        # A fair coin: calls happen on roughly half the rounds, never all.
+        assert 0 < called < 39
+
+    def test_heads_callee_rejects(self):
+        from repro.baselines.cluster_merge import Call
+
+        node = self.make(1, {2}, seed=3)
+        # Force a known coin by flipping until heads, then decide.
+        node.begin_round(1)
+        while not node._coin_heads:
+            node.begin_round(1)
+        assert node.decide(Call(9, 1, 1), 1) == "reject"
+
+    def test_tails_callee_merges(self):
+        from repro.baselines.cluster_merge import Call
+
+        node = self.make(1, {2}, seed=3)
+        node.begin_round(1)
+        while node._coin_heads:
+            node.begin_round(1)
+        assert node.decide(Call(9, 1, 1), 1) == "merge"

@@ -1,0 +1,64 @@
+"""Property-based tests for the synchronous baselines: every algorithm
+solves Resource Discovery on arbitrary digraphs (per weak component)."""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import (
+    run_flooding,
+    run_kpv_style,
+    run_law_siu,
+    run_name_dropper,
+    run_swamping,
+    verify_baseline,
+)
+from repro.graphs.knowledge_graph import KnowledgeGraph
+
+QUICK = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def digraphs(draw, max_n=16):
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    n_edges = draw(st.integers(min_value=0, max_value=3 * n))
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    rng = random.Random(seed)
+    graph = KnowledgeGraph(range(n))
+    for _ in range(n_edges):
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u != v:
+            graph.add_edge(u, v)
+    return graph
+
+
+class TestBaselineProperties:
+    @QUICK
+    @given(digraphs())
+    def test_flooding(self, graph):
+        verify_baseline(run_flooding(graph), graph)
+
+    @QUICK
+    @given(digraphs(), st.integers(min_value=0, max_value=100))
+    def test_name_dropper(self, graph, seed):
+        verify_baseline(run_name_dropper(graph, seed=seed), graph)
+
+    @QUICK
+    @given(digraphs(), st.integers(min_value=0, max_value=100))
+    def test_law_siu(self, graph, seed):
+        verify_baseline(run_law_siu(graph, seed=seed), graph)
+
+    @QUICK
+    @given(digraphs())
+    def test_kpv_style(self, graph):
+        verify_baseline(run_kpv_style(graph), graph)
+
+    @QUICK
+    @given(digraphs())
+    def test_swamping(self, graph):
+        verify_baseline(run_swamping(graph), graph)

@@ -1,0 +1,72 @@
+"""Integration tests for the Bounded variant (termination detection)."""
+
+import pytest
+
+from repro.core.bounded import run_bounded
+from repro.graphs.generators import (
+    complete_binary_tree,
+    directed_path,
+    disjoint_union,
+    random_weakly_connected,
+    star,
+)
+from repro.graphs.knowledge_graph import KnowledgeGraph
+from tests.conftest import run_and_verify
+
+
+@pytest.mark.parametrize("seed", [None, 1, 4, 9])
+def test_random_graphs(seed):
+    graph = random_weakly_connected(50, 120, seed=17)
+    result = run_and_verify("bounded", graph, seed=seed)
+    assert all(result.statuses[l] == "terminated" for l in result.leaders)
+
+
+def test_termination_detected_per_component():
+    """Theorem 4: each component's leader terminates knowing its own
+    component size -- even with several components of different sizes."""
+    graph = disjoint_union(star(12), directed_path(7), KnowledgeGraph([0]))
+    result = run_and_verify("bounded", graph)
+    assert len(result.leaders) == 3
+    for leader in result.leaders:
+        assert result.statuses[leader] == "terminated"
+
+
+def test_final_broadcast_is_counted():
+    """Lemma 5.8 (bounded): conquer traffic is one final broadcast --
+    exactly n-1 conquer messages and n-1 acknowledgements per component."""
+    n = 30
+    graph = random_weakly_connected(n, 60, seed=3)
+    result = run_and_verify("bounded", graph)
+    assert result.stats.messages("conquer") == n - 1
+    assert result.stats.messages("more-done") == n - 1
+
+
+def test_bounded_uses_fewer_conquers_than_generic():
+    from repro.core.generic import run_generic
+
+    graph = random_weakly_connected(200, 500, seed=11)
+    bounded = run_and_verify("bounded", graph)
+    generic = run_and_verify("generic", graph)
+    assert bounded.stats.messages("conquer") < generic.stats.messages("conquer")
+
+
+def test_singleton_component_terminates_silently():
+    result = run_and_verify("bounded", KnowledgeGraph(["only"]))
+    assert result.statuses["only"] == "terminated"
+    assert result.total_messages == 0
+
+
+def test_two_node_component():
+    result = run_and_verify("bounded", KnowledgeGraph([0, 1], [(0, 1)]))
+    assert len(result.leaders) == 1
+    leader = result.leaders[0]
+    assert result.knowledge[leader] == frozenset({0, 1})
+
+
+def test_stale_search_after_termination_is_aborted():
+    """Drive many seeds on a small graph: the race where a parked search
+    reaches the terminated leader must always resolve via an abort, never
+    a protocol error (regression for the terminated-leader handler)."""
+    graph = random_weakly_connected(5, 10, seed=3)
+    for seed in range(30):
+        run_and_verify("bounded", graph, seed=seed)

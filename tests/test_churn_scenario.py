@@ -1,0 +1,100 @@
+"""Tests for the scripted churn scenarios (Section 6 machinery)."""
+
+import pytest
+
+from repro.core.dynamic import ChurnScenario, random_churn
+from repro.graphs.generators import random_weakly_connected, star
+from repro.graphs.knowledge_graph import KnowledgeGraph
+from repro.verification.invariants import verify_discovery
+
+
+class TestValidation:
+    def test_join_duplicate_rejected(self):
+        with pytest.raises(ValueError, match="already exists"):
+            ChurnScenario(star(3), [("join", 0, ())])
+
+    def test_join_unknown_reference_rejected(self):
+        with pytest.raises(ValueError, match="unknown ids"):
+            ChurnScenario(star(3), [("join", 99, (42,))])
+
+    def test_link_unknown_endpoint_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            ChurnScenario(star(3), [("link", 0, 42)])
+
+    def test_probe_unknown_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            ChurnScenario(star(3), [("probe", 42)])
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown kind"):
+            ChurnScenario(star(3), [("reboot", 1)])
+
+    def test_join_then_reference_is_fine(self):
+        ChurnScenario(star(3), [("join", 10, (0,)), ("link", 10, 1), ("probe", 10)])
+
+
+class TestReplay:
+    def test_costs_recorded_per_event(self):
+        scenario = ChurnScenario(
+            star(5),
+            [("join", 10, (0,)), ("link", 3, 4), ("probe", 2)],
+            seed=1,
+        )
+        net, outcome = scenario.replay(verify_each=True)
+        assert len(outcome.costs) == 3
+        assert outcome.costs[0].event[0] == "join"
+        assert outcome.costs[0].messages > 0
+        assert len(outcome.probe_answers) == 1
+        leader, members = outcome.probe_answers[0]
+        assert members == frozenset(net.graph.nodes)
+
+    def test_summary(self):
+        scenario = ChurnScenario(star(4), [("probe", 1), ("probe", 2)], seed=0)
+        _, outcome = scenario.replay()
+        assert "probe: 2 events" in outcome.summary()
+        assert ChurnScenario(star(3), []).replay()[1].summary() == "no events"
+
+    def test_total_messages_matches_deltas(self):
+        scenario = random_churn(random_weakly_connected(12, 24, seed=2), 10, seed=2)
+        net, outcome = scenario.replay()
+        assert outcome.total_messages == sum(c.messages for c in outcome.costs)
+
+    def test_replay_is_reproducible(self):
+        graph = random_weakly_connected(10, 20, seed=3)
+        scenario = random_churn(graph, 8, seed=3)
+        _, a = scenario.replay()
+        _, b = scenario.replay()
+        assert [c.messages for c in a.costs] == [c.messages for c in b.costs]
+
+
+class TestRandomChurn:
+    def test_respects_weights(self):
+        graph = star(6)
+        only_probes = random_churn(graph, 20, seed=1, join_weight=0, link_weight=0)
+        assert all(event[0] == "probe" for event in only_probes.events)
+        only_joins = random_churn(graph, 10, seed=1, link_weight=0, probe_weight=0)
+        assert all(event[0] == "join" for event in only_joins.events)
+
+    def test_integer_graphs_get_integer_joiners(self):
+        scenario = random_churn(star(4), 20, seed=5)
+        joiners = [event[1] for event in scenario.events if event[0] == "join"]
+        assert joiners and all(isinstance(j, int) for j in joiners)
+
+    def test_string_graphs_get_string_joiners(self):
+        graph = KnowledgeGraph(["a", "b"], [("a", "b")])
+        scenario = random_churn(graph, 20, seed=5)
+        joiners = [event[1] for event in scenario.events if event[0] == "join"]
+        assert joiners and all(isinstance(j, str) for j in joiners)
+
+    def test_bad_arguments(self):
+        with pytest.raises(ValueError):
+            random_churn(star(3), -1)
+        with pytest.raises(ValueError):
+            random_churn(star(3), 5, join_weight=0, link_weight=0, probe_weight=0)
+
+    @pytest.mark.parametrize("seed", [0, 7, 23])
+    def test_random_scenarios_keep_invariants(self, seed):
+        graph = random_weakly_connected(15, 30, seed=seed)
+        scenario = random_churn(graph, 15, seed=seed)
+        net, _ = scenario.replay(verify_each=True)
+        verify_discovery(net.result(), net.graph)

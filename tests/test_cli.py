@@ -1,0 +1,88 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+
+
+class TestRun:
+    def test_run_default(self, capsys):
+        assert main(["run", "--n", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "generic: n=32" in out
+        assert "complexity bounds" in out
+        assert "verified" in out
+
+    @pytest.mark.parametrize("variant", ["generic", "bounded", "adhoc"])
+    def test_run_each_variant(self, capsys, variant):
+        assert main(["run", "--variant", variant, "--n", "24", "--seed", "2"]) == 0
+        assert f"{variant}: n=24" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("scheduler", ["fifo", "lifo", "random", "timed"])
+    def test_run_each_scheduler(self, capsys, scheduler):
+        assert main(["run", "--n", "16", "--scheduler", scheduler]) == 0
+        out = capsys.readouterr().out
+        if scheduler == "timed":
+            assert "completion time" in out
+
+    def test_run_greedy_ablation(self, capsys):
+        assert main(["run", "--n", "24", "--greedy-queries"]) == 0
+
+    def test_greedy_rejected_for_non_generic(self, capsys):
+        assert main(["run", "--variant", "adhoc", "--greedy-queries"]) == 2
+        assert "only applies" in capsys.readouterr().err
+
+    def test_run_every_family(self, capsys):
+        from repro.analysis.experiments import GRAPH_FAMILIES
+
+        for family in sorted(GRAPH_FAMILIES):
+            assert main(["run", "--family", family, "--n", "20"]) == 0
+
+
+class TestExperiments:
+    def test_quick_single(self, capsys):
+        assert main(["experiments", "EXP-13", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "=== EXP-13 ===" in out
+        assert "messages/n" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["experiments", "EXP-99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_all_quick_experiments_run(self, capsys):
+        """Every registered experiment must work at quick size."""
+        assert main(["experiments", *sorted(EXPERIMENTS), "--quick"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert f"=== {name} ===" in out
+
+
+class TestOtherCommands:
+    def test_compare(self, capsys):
+        assert main(["compare", "--n", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "flooding" in out
+        assert "ad-hoc (this paper)" in out
+
+    def test_lower_bound(self, capsys):
+        assert main(["lower-bound", "--height", "4"]) == 0
+        assert "floor holds" in capsys.readouterr().out
+
+    def test_families(self, capsys):
+        assert main(["families"]) == 0
+        out = capsys.readouterr().out
+        assert "sparse-random" in out
+        assert "tree" in out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestChannelsFlag:
+    def test_random_channels_run(self, capsys):
+        assert main(["run", "--n", "24", "--channels", "random"]) == 0
+        out = capsys.readouterr().out
+        assert "channel discipline: random" in out
+        assert "verified" in out

@@ -1,0 +1,129 @@
+"""Unit tests for the cluster-merge skeleton shared by Law-Siu / KPV-style."""
+
+from repro.baselines.cluster_merge import (
+    Call,
+    ClusterMergeNode,
+    Relabel,
+    Transfer,
+    YouJoinMe,
+)
+from repro.baselines.kpv_style import run_kpv_style
+from repro.graphs.generators import random_weakly_connected
+from repro.graphs.knowledge_graph import KnowledgeGraph
+
+
+class AlwaysMerge(ClusterMergeNode):
+    def may_call(self, round_no):
+        return True
+
+    def decide(self, call, round_no):
+        return "merge"
+
+    def pick_target(self, round_no):
+        return min(self.frontier, key=repr)
+
+
+def make(node_id, initial=()):
+    return AlwaysMerge(node_id, frozenset(initial))
+
+
+class TestDirectionRule:
+    def test_smaller_id_callee_absorbs_larger_caller(self):
+        callee = make(1)
+        out = []
+        callee._send = lambda dst, msg: out.append((dst, msg))
+        callee._leader_on_call(Call(origin=5, size=1, target=1), 1)
+        assert len(out) == 1
+        dst, msg = out[0]
+        assert dst == 5 and isinstance(msg, YouJoinMe)
+        assert callee.is_leader
+
+    def test_larger_id_callee_transfers_itself(self):
+        callee = make(9, initial=(1,))
+        out = []
+        callee._send = lambda dst, msg: out.append((dst, msg))
+        callee._leader_on_call(Call(origin=2, size=1, target=9), 1)
+        assert not callee.is_leader
+        assert callee.leader_ptr == 2
+        dst, msg = out[0]
+        assert dst == 2 and isinstance(msg, Transfer)
+        assert msg.members == frozenset({9})
+
+    def test_call_home_prunes_frontier(self):
+        leader = make(1, initial=(7,))
+        leader.members.add(7)
+        leader.call_outstanding = True
+        leader._leader_on_call(Call(origin=1, size=2, target=7), 1)
+        assert 7 not in leader.frontier
+        assert not leader.call_outstanding
+
+    def test_you_join_me_toward_larger_id_is_dropped(self):
+        """Forwarded you-join-me whose absorber is larger must be ignored,
+        or the id-decreasing transfer invariant (no pointer cycles) breaks."""
+        node = make(3)
+        out = []
+        node._send = lambda dst, msg: out.append((dst, msg))
+        node._leader_on_you_join_me(YouJoinMe(absorber=8, origin=3))
+        assert node.is_leader
+        assert out == []
+
+    def test_you_join_me_toward_smaller_id_complies(self):
+        node = make(7)
+        out = []
+        node._send = lambda dst, msg: out.append((dst, msg))
+        node._leader_on_you_join_me(YouJoinMe(absorber=2, origin=7))
+        assert not node.is_leader
+        assert node.leader_ptr == 2
+
+
+class TestTransferHandling:
+    def test_absorb_merges_and_relabels(self):
+        leader = make(1)
+        out = []
+        leader._send = lambda dst, msg: out.append((dst, msg))
+        leader._leader_on_transfer(
+            Transfer(from_leader=5, members=frozenset({5, 6, 7}), frontier=frozenset({8}))
+        )
+        assert leader.members == {1, 5, 6, 7}
+        assert leader.frontier == {8}
+        relabeled = {dst for dst, msg in out if isinstance(msg, Relabel)}
+        assert relabeled == {6, 7}  # not the ex-leader, not self
+
+    def test_frontier_pruned_against_members(self):
+        leader = make(1, initial=(6,))
+        leader._leader_on_transfer(
+            Transfer(from_leader=6, members=frozenset({6}), frontier=frozenset({1}))
+        )
+        assert leader.frontier == set()
+
+
+class TestForwarding:
+    def test_non_leader_forwards_protocol_messages(self):
+        node = make(4)
+        node.is_leader = False
+        node.leader_ptr = 2
+        out = []
+        node._send = lambda dst, msg: out.append((dst, msg))
+        call = Call(origin=9, size=1, target=4)
+        node._handle(9, call, 1)
+        assert out == [(2, call)]
+
+    def test_relabel_handled_even_when_leader_again(self):
+        node = make(4)
+        node._handle(2, Relabel(leader=2), 1)
+        assert node.leader_ptr == 2
+
+
+class TestEndToEndDeterminism:
+    def test_kpv_identical_runs(self):
+        graph = random_weakly_connected(25, 50, seed=12)
+        a, b = run_kpv_style(graph), run_kpv_style(graph)
+        assert a.stats.messages_by_type == b.stats.messages_by_type
+        assert a.leader_of == b.leader_of
+
+    def test_final_leader_is_component_minimum(self):
+        """The id-ordered transfer rule funnels every cluster toward the
+        smallest leader id in its component."""
+        graph = random_weakly_connected(20, 60, seed=3)
+        result = run_kpv_style(graph)
+        assert result.leaders == [min(graph.nodes, key=repr)]

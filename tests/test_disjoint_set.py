@@ -1,0 +1,196 @@
+"""Unit and property tests for the disjoint-set forests."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.unionfind.disjoint_set import FIND_RULES, LINK_RULES, DisjointSet
+from repro.unionfind.naive import QuickFind
+
+ALL_CONFIGS = list(itertools.product(LINK_RULES, FIND_RULES))
+
+
+class TestBasics:
+    def test_singletons(self):
+        ds = DisjointSet(range(5))
+        assert len(ds) == 5
+        assert ds.n_sets == 5
+        for i in range(5):
+            assert ds.find(i) == i
+
+    def test_union_merges(self):
+        ds = DisjointSet(range(4))
+        ds.union(0, 1)
+        assert ds.connected(0, 1)
+        assert not ds.connected(0, 2)
+        assert ds.n_sets == 3
+
+    def test_union_idempotent(self):
+        ds = DisjointSet(range(3))
+        root = ds.union(0, 1)
+        assert ds.union(0, 1) == root
+        assert ds.n_sets == 2
+
+    def test_set_size(self):
+        ds = DisjointSet(range(6))
+        ds.union(0, 1)
+        ds.union(1, 2)
+        assert ds.set_size(0) == 3
+        assert ds.set_size(5) == 1
+
+    def test_sets_grouping(self):
+        ds = DisjointSet(range(4))
+        ds.union(0, 3)
+        groups = ds.sets()
+        assert sorted(map(sorted, groups.values())) == [[0, 3], [1], [2]]
+
+    def test_make_set_idempotent(self):
+        ds = DisjointSet()
+        ds.make_set("a")
+        ds.make_set("a")
+        assert len(ds) == 1
+
+    def test_auto_create(self):
+        ds = DisjointSet(auto_create=True)
+        ds.union("x", "y")
+        assert ds.connected("x", "y")
+
+    def test_unknown_element_raises(self):
+        ds = DisjointSet(range(2))
+        with pytest.raises(KeyError):
+            ds.find(99)
+        with pytest.raises(KeyError):
+            ds.union(0, 99)
+
+    def test_bad_rules_rejected(self):
+        with pytest.raises(ValueError):
+            DisjointSet(link_rule="bogus")
+        with pytest.raises(ValueError):
+            DisjointSet(find_rule="bogus")
+
+    def test_contains_and_iter(self):
+        ds = DisjointSet(["a", "b"])
+        assert "a" in ds
+        assert "z" not in ds
+        assert sorted(ds) == ["a", "b"]
+
+
+class TestStructure:
+    def test_union_by_rank_bounds_depth(self):
+        """With union by rank (and no compression during unions beyond the
+        find calls) tree depth is at most log2 n."""
+        n = 1024
+        ds = DisjointSet(range(n), link_rule="rank", find_rule="none")
+        order = list(range(1, n))
+        random.Random(0).shuffle(order)
+        for i in order:
+            ds.union(i - 1, i)
+        max_depth = max(ds.depth_of(i) for i in range(n))
+        assert max_depth <= 10  # log2(1024)
+
+    def test_naive_linking_can_be_deep(self):
+        n = 64
+        ds = DisjointSet(range(n), link_rule="naive", find_rule="none")
+        for i in range(1, n):
+            # Always link the big tree under the new singleton.
+            ds.union(0, i)
+        assert ds.depth_of(0) == n - 1
+
+    def test_compression_flattens(self):
+        n = 64
+        ds = DisjointSet(range(n), link_rule="naive", find_rule="compress")
+        for i in range(1, n):
+            ds._link(ds._root_of(i - 1), i)  # build a chain directly
+        assert ds.depth_of(0) == n - 1
+        ds.find(0)
+        assert ds.depth_of(0) <= 1
+
+    def test_halving_shortens_path(self):
+        n = 32
+        ds = DisjointSet(range(n), link_rule="naive", find_rule="halve")
+        for i in range(1, n):
+            ds._link(ds._root_of(i - 1), i)
+        before = ds.depth_of(0)
+        ds.find(0)
+        assert ds.depth_of(0) <= before // 2 + 1
+
+    def test_counters_accumulate(self):
+        ds = DisjointSet(range(8))
+        assert ds.counter.total == 0
+        ds.union(0, 1)
+        assert ds.counter.reads > 0
+        assert ds.counter.writes >= 1
+
+
+@st.composite
+def operation_sequences(draw):
+    n = draw(st.integers(min_value=2, max_value=24))
+    n_ops = draw(st.integers(min_value=1, max_value=60))
+    ops = []
+    for _ in range(n_ops):
+        kind = draw(st.sampled_from(["union", "find", "connected"]))
+        a = draw(st.integers(min_value=0, max_value=n - 1))
+        b = draw(st.integers(min_value=0, max_value=n - 1))
+        ops.append((kind, a, b))
+    return n, ops
+
+
+class TestEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(operation_sequences())
+    def test_every_config_matches_quickfind(self, case):
+        """All link/find rule combinations implement the same partition
+        semantics as the obviously-correct quick-find oracle."""
+        n, ops = case
+        structures = [
+            DisjointSet(range(n), link_rule=lr, find_rule=fr)
+            for lr, fr in ALL_CONFIGS
+        ]
+        oracle = QuickFind(range(n))
+        for kind, a, b in ops:
+            if kind == "union":
+                oracle.union(a, b)
+                for ds in structures:
+                    ds.union(a, b)
+            elif kind == "connected":
+                expected = oracle.connected(a, b)
+                for ds in structures:
+                    assert ds.connected(a, b) == expected
+            else:
+                for ds in structures:
+                    ds.find(a)
+        # Final partitions are identical.
+        for x in range(n):
+            for y in range(x + 1, n):
+                expected = oracle.connected(x, y)
+                for ds in structures:
+                    assert ds.connected(x, y) == expected
+
+    @settings(max_examples=30, deadline=None)
+    @given(operation_sequences())
+    def test_n_sets_matches_oracle(self, case):
+        n, ops = case
+        ds = DisjointSet(range(n))
+        oracle = QuickFind(range(n))
+        for kind, a, b in ops:
+            if kind == "union":
+                ds.union(a, b)
+                oracle.union(a, b)
+        assert ds.n_sets == oracle.n_sets
+
+
+class TestQuickFind:
+    def test_members(self):
+        qf = QuickFind(range(4))
+        qf.union(0, 2)
+        assert qf.members(0) == [0, 2]
+
+    def test_len_and_contains(self):
+        qf = QuickFind(["a"])
+        assert len(qf) == 1
+        assert "a" in qf
+        qf.make_set("a")
+        assert len(qf) == 1

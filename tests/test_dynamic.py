@@ -1,0 +1,125 @@
+"""Tests for Section 6: dynamic node and link additions (Ad-hoc)."""
+
+import random
+
+import pytest
+
+from repro.core.adhoc import AdhocNetwork, run_adhoc
+from repro.graphs.generators import random_weakly_connected, star
+from repro.graphs.knowledge_graph import KnowledgeGraph
+from repro.verification.invariants import verify_discovery
+
+
+def quiescent_network(n=30, seed=7):
+    graph = random_weakly_connected(n, 2 * n, seed=seed)
+    net = AdhocNetwork(graph, seed=seed)
+    net.run()
+    return net
+
+
+class TestAddNode:
+    def test_join_merges_components(self):
+        net = quiescent_network()
+        net.add_node(1000, known=[0, 5])
+        net.run()
+        result = net.result()
+        verify_discovery(result, net.graph)
+        assert 1000 in result.knowledge[result.leaders[0]]
+
+    def test_join_with_no_knowledge_is_isolated_leader(self):
+        net = quiescent_network()
+        net.add_node(1000)
+        net.run()
+        result = net.result()
+        verify_discovery(result, net.graph)
+        assert 1000 in result.leaders
+
+    def test_join_referencing_unknown_node_rejected(self):
+        net = quiescent_network()
+        with pytest.raises(KeyError):
+            net.add_node(1000, known=["ghost"])
+
+    def test_many_sequential_joins(self):
+        net = quiescent_network(n=20)
+        for i in range(20, 40):
+            net.add_node(i, known=[i - 1])
+            net.run()
+        result = net.result()
+        verify_discovery(result, net.graph)
+        assert len(result.leaders) == 1
+        assert result.knowledge[result.leaders[0]] == frozenset(range(40))
+
+    def test_concurrent_joins(self):
+        """Several joins pending before any runs to quiescence."""
+        net = quiescent_network(n=15)
+        for i in range(15, 25):
+            net.add_node(i, known=[i % 15])
+        net.run()
+        verify_discovery(net.result(), net.graph)
+
+
+class TestAddLink:
+    def test_link_merges_two_components(self):
+        graph = KnowledgeGraph(range(6), [(0, 1), (1, 2), (3, 4), (4, 5)])
+        net = AdhocNetwork(graph, seed=1)
+        net.run()
+        assert len(net.result().leaders) == 2
+        net.add_link(2, 3)
+        net.run()
+        result = net.result()
+        verify_discovery(result, net.graph)
+        assert len(result.leaders) == 1
+
+    def test_link_endpoints_must_exist(self):
+        net = quiescent_network()
+        with pytest.raises(KeyError):
+            net.add_link(0, "ghost")
+        with pytest.raises(KeyError):
+            net.add_link("ghost", 0)
+
+    def test_duplicate_and_self_links_are_harmless(self):
+        net = quiescent_network()
+        before = net.stats.total_messages
+        existing = next(iter(net.graph.edges()))
+        net.add_link(*existing)
+        net.add_link(0, 0)
+        net.run()
+        verify_discovery(net.result(), net.graph)
+        assert net.stats.total_messages == before
+
+    def test_random_link_storm(self):
+        net = quiescent_network(n=25, seed=3)
+        rng = random.Random(5)
+        for _ in range(30):
+            u, v = rng.sample(net.graph.nodes, k=2)
+            net.add_link(u, v)
+        net.run()
+        verify_discovery(net.result(), net.graph)
+
+
+class TestTheorem8:
+    def test_incremental_cheaper_than_rerun(self):
+        """Theorem 8's point: incorporating additions costs far less than
+        running the whole algorithm again."""
+        net = quiescent_network(n=120, seed=2)
+        rng = random.Random(9)
+        before = net.stats.snapshot()
+        for i in range(120, 140):
+            net.add_node(i, known=rng.sample(net.graph.nodes, k=2))
+            net.run()
+        marginal = net.stats.delta_since(before).total_messages
+        rerun = run_adhoc(net.graph, seed=2).total_messages
+        assert marginal < rerun / 2
+
+    def test_marginal_cost_per_join_is_small(self):
+        net = quiescent_network(n=100, seed=4)
+        rng = random.Random(3)
+        costs = []
+        for i in range(100, 130):
+            before = net.stats.snapshot()
+            net.add_node(i, known=rng.sample(net.graph.nodes, k=2))
+            net.run()
+            costs.append(net.stats.delta_since(before).total_messages)
+        # Near-constant marginal cost: no join should cost anything close
+        # to a fresh n-node run.
+        assert max(costs) <= 60

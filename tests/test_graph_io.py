@@ -1,0 +1,91 @@
+"""Tests for knowledge-graph file I/O."""
+
+import pytest
+
+from repro.graphs.generators import disjoint_union, random_weakly_connected, star
+from repro.graphs.io import (
+    load_graph,
+    read_edge_list,
+    read_json,
+    save_graph,
+    write_edge_list,
+    write_json,
+)
+from repro.graphs.knowledge_graph import KnowledgeGraph
+
+
+class TestEdgeList:
+    def test_roundtrip_integers(self, tmp_path):
+        graph = random_weakly_connected(25, 40, seed=1)
+        path = tmp_path / "g.edges"
+        write_edge_list(graph, path)
+        loaded = read_edge_list(path)
+        assert sorted(loaded.nodes) == sorted(graph.nodes)
+        assert sorted(loaded.edges()) == sorted(graph.edges())
+
+    def test_roundtrip_strings(self, tmp_path):
+        graph = KnowledgeGraph(["alpha", "beta", "gamma"], [("alpha", "beta")])
+        path = tmp_path / "g.edges"
+        write_edge_list(graph, path)
+        loaded = read_edge_list(path)
+        assert set(loaded.nodes) == {"alpha", "beta", "gamma"}
+        assert loaded.has_edge("alpha", "beta")
+
+    def test_isolated_nodes_preserved(self, tmp_path):
+        graph = KnowledgeGraph([0, 1, 2], [(0, 1)])
+        path = tmp_path / "g.edges"
+        write_edge_list(graph, path)
+        loaded = read_edge_list(path)
+        assert 2 in loaded
+        assert loaded.n == 3
+
+    def test_comments_and_blanks(self, tmp_path):
+        path = tmp_path / "g.edges"
+        path.write_text("# comment\n\n1 2  # trailing\n3\n")
+        graph = read_edge_list(path)
+        assert graph.n == 3
+        assert graph.has_edge(1, 2)
+
+    def test_bad_line_rejected(self, tmp_path):
+        path = tmp_path / "g.edges"
+        path.write_text("1 2 3\n")
+        with pytest.raises(ValueError, match="expected"):
+            read_edge_list(path)
+
+
+class TestJson:
+    def test_roundtrip(self, tmp_path):
+        graph = disjoint_union(star(4), random_weakly_connected(6, 5, seed=2))
+        path = tmp_path / "g.json"
+        write_json(graph, path)
+        loaded = read_json(path)
+        assert sorted(loaded.nodes) == sorted(graph.nodes)
+        assert sorted(loaded.edges()) == sorted(graph.edges())
+
+    def test_malformed_rejected(self, tmp_path):
+        path = tmp_path / "g.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(ValueError):
+            read_json(path)
+
+
+class TestDispatch:
+    def test_save_load_by_extension(self, tmp_path):
+        graph = star(6)
+        for name in ("g.json", "g.edges", "g.txt"):
+            path = tmp_path / name
+            save_graph(graph, path)
+            loaded = load_graph(path)
+            assert loaded.n == 6
+            assert sorted(loaded.edges()) == sorted(graph.edges())
+
+
+class TestCliIntegration:
+    def test_run_with_graph_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        graph = random_weakly_connected(15, 20, seed=4)
+        path = tmp_path / "g.edges"
+        save_graph(graph, path)
+        assert main(["run", "--graph-file", str(path), "--variant", "adhoc"]) == 0
+        assert "n=15" in capsys.readouterr().out

@@ -1,0 +1,87 @@
+"""Tests for the Swamping and Random Pointer Jump baselines ([2])."""
+
+import pytest
+
+from repro.baselines import (
+    PointerJumpDiverged,
+    run_name_dropper,
+    run_pointer_jump,
+    run_swamping,
+    verify_baseline,
+)
+from repro.graphs.generators import (
+    directed_cycle,
+    directed_path,
+    disjoint_union,
+    random_strongly_connected,
+    random_weakly_connected,
+    star,
+)
+from repro.graphs.knowledge_graph import KnowledgeGraph
+
+
+class TestSwamping:
+    @pytest.mark.parametrize(
+        "maker",
+        [
+            lambda: star(15),
+            lambda: directed_path(12),
+            lambda: random_weakly_connected(25, 50, seed=4),
+            lambda: disjoint_union(star(6), directed_cycle(5)),
+            lambda: KnowledgeGraph([0]),
+        ],
+        ids=["star", "path", "random", "multi", "single"],
+    )
+    def test_solves_discovery(self, maker):
+        graph = maker()
+        result = run_swamping(graph)
+        verify_baseline(result, graph)
+
+    def test_converges_faster_than_name_dropper(self):
+        """[2]: swamping is the round-count champion."""
+        graph = random_weakly_connected(80, 160, seed=5)
+        swamp = run_swamping(graph)
+        nd = run_name_dropper(graph, seed=5)
+        assert swamp.rounds <= nd.rounds
+
+    def test_pays_in_messages(self):
+        graph = random_weakly_connected(80, 160, seed=5)
+        swamp = run_swamping(graph)
+        nd = run_name_dropper(graph, seed=5)
+        assert swamp.total_messages > 5 * nd.total_messages
+
+
+class TestPointerJump:
+    @pytest.mark.parametrize("n", [2, 8, 30, 80])
+    def test_converges_on_strongly_connected(self, n):
+        graph = random_strongly_connected(n, n, seed=n)
+        result = run_pointer_jump(graph, seed=1)
+        verify_baseline(result, graph)
+
+    def test_single_node(self):
+        result = run_pointer_jump(KnowledgeGraph([0]))
+        assert result.leaders == [0]
+
+    def test_rejects_weak_graph_by_default(self):
+        with pytest.raises(ValueError, match="strongly connected"):
+            run_pointer_jump(directed_path(5))
+
+    def test_divergence_on_star_reproduces_hbl_observation(self):
+        """[2]'s negative result: pointer jumping never informs the hub's
+        children of each other on a pure out-star (knowledge only flows
+        back along requests)."""
+        with pytest.raises(PointerJumpDiverged):
+            run_pointer_jump(star(6), seed=0, require_strong=False, max_rounds=300)
+
+    def test_two_messages_per_node_per_round(self):
+        graph = random_strongly_connected(40, 40, seed=2)
+        result = run_pointer_jump(graph, seed=3)
+        # request + reply per node per round, minus slack for the final round
+        assert result.total_messages <= 2 * graph.n * result.rounds
+
+    def test_seed_determinism(self):
+        graph = random_strongly_connected(20, 20, seed=9)
+        a = run_pointer_jump(graph, seed=7)
+        b = run_pointer_jump(graph, seed=7)
+        assert a.rounds == b.rounds
+        assert a.total_messages == b.total_messages

@@ -1,0 +1,108 @@
+"""The invariant checker must actually catch violations (tests of the
+test oracle itself, via fabricated results)."""
+
+import pytest
+
+from repro.core.result import DiscoveryResult
+from repro.graphs.generators import star
+from repro.sim.trace import MessageStats
+from repro.verification.invariants import InvariantViolation, verify_discovery
+
+
+def fabricate(graph, **overrides):
+    """A correct-looking result for a star graph, with overridable fields."""
+    n = graph.n
+    leader = 0
+    fields = dict(
+        variant="generic",
+        n=n,
+        n_edges=graph.n_edges,
+        leaders=[leader],
+        leader_of={i: leader for i in range(n)},
+        knowledge={leader: frozenset(range(n))},
+        statuses={i: ("wait" if i == leader else "inactive") for i in range(n)},
+        path_lengths={i: (0 if i == leader else 1) for i in range(n)},
+        stats=MessageStats(),
+        steps=0,
+    )
+    fields.update(overrides)
+    return DiscoveryResult(**fields)
+
+
+@pytest.fixture
+def graph():
+    return star(5)
+
+
+def test_correct_result_passes(graph):
+    report = verify_discovery(fabricate(graph), graph)
+    assert report.n_leaders == 1
+    assert len(report.checks) >= 4
+    assert "one leader" in str(report)
+
+
+def test_zero_leaders_caught(graph):
+    bad = fabricate(graph, leaders=[])
+    with pytest.raises(InvariantViolation, match="0 leaders"):
+        verify_discovery(bad, graph)
+
+
+def test_two_leaders_caught(graph):
+    bad = fabricate(graph, leaders=[0, 1])
+    with pytest.raises(InvariantViolation, match="2 leaders"):
+        verify_discovery(bad, graph)
+
+
+def test_incomplete_knowledge_caught(graph):
+    bad = fabricate(graph, knowledge={0: frozenset({0, 1})})
+    with pytest.raises(InvariantViolation, match="knowledge mismatch"):
+        verify_discovery(bad, graph)
+
+
+def test_extra_knowledge_caught(graph):
+    bad = fabricate(graph, knowledge={0: frozenset(range(6))})
+    with pytest.raises(InvariantViolation, match="knowledge mismatch"):
+        verify_discovery(bad, graph)
+
+
+def test_wrong_resolution_caught(graph):
+    wrong = {i: 0 for i in range(5)}
+    wrong[3] = 4
+    bad = fabricate(graph, leader_of=wrong)
+    with pytest.raises(InvariantViolation, match="resolves to"):
+        verify_discovery(bad, graph)
+
+
+def test_long_chain_caught_for_strict_variants(graph):
+    lengths = {i: (0 if i == 0 else 1) for i in range(5)}
+    lengths[2] = 3
+    bad = fabricate(graph, path_lengths=lengths)
+    with pytest.raises(InvariantViolation, match="point directly"):
+        verify_discovery(bad, graph)
+
+
+def test_long_chain_allowed_for_adhoc(graph):
+    lengths = {i: (0 if i == 0 else 1) for i in range(5)}
+    lengths[2] = 3
+    ok = fabricate(graph, variant="adhoc", path_lengths=lengths)
+    verify_discovery(ok, graph)
+
+
+def test_transient_state_caught(graph):
+    statuses = {i: ("wait" if i == 0 else "inactive") for i in range(5)}
+    statuses[2] = "passive"
+    bad = fabricate(graph, statuses=statuses)
+    with pytest.raises(InvariantViolation, match="transient"):
+        verify_discovery(bad, graph)
+
+
+def test_unterminated_bounded_leader_caught(graph):
+    bad = fabricate(graph, variant="bounded")
+    with pytest.raises(InvariantViolation, match="termination"):
+        verify_discovery(bad, graph)
+
+
+def test_terminated_bounded_leader_passes(graph):
+    statuses = {i: ("terminated" if i == 0 else "inactive") for i in range(5)}
+    ok = fabricate(graph, variant="bounded", statuses=statuses)
+    verify_discovery(ok, graph)

@@ -1,0 +1,98 @@
+"""Unit tests for the knowledge-graph model."""
+
+import pytest
+
+from repro.graphs.knowledge_graph import KnowledgeGraph
+
+
+class TestConstruction:
+    def test_empty(self):
+        g = KnowledgeGraph([])
+        assert g.n == 0
+        assert g.n_edges == 0
+
+    def test_nodes_and_edges(self):
+        g = KnowledgeGraph([1, 2, 3], [(1, 2), (2, 3)])
+        assert g.n == 3
+        assert g.n_edges == 2
+        assert g.has_edge(1, 2)
+        assert not g.has_edge(2, 1)
+
+    def test_duplicate_node_rejected(self):
+        with pytest.raises(ValueError):
+            KnowledgeGraph([1, 1])
+
+    def test_edge_to_unknown_node_rejected(self):
+        g = KnowledgeGraph([1])
+        with pytest.raises(KeyError):
+            g.add_edge(1, 2)
+        with pytest.raises(KeyError):
+            g.add_edge(2, 1)
+
+    def test_self_loops_dropped(self):
+        g = KnowledgeGraph([1], [(1, 1)])
+        assert g.n_edges == 0
+        assert not g.add_edge(1, 1)
+
+    def test_parallel_edge_dropped(self):
+        g = KnowledgeGraph([1, 2])
+        assert g.add_edge(1, 2)
+        assert not g.add_edge(1, 2)
+        assert g.n_edges == 1
+
+    def test_add_node(self):
+        g = KnowledgeGraph([0])
+        g.add_node(1)
+        assert 1 in g
+        with pytest.raises(ValueError):
+            g.add_node(1)
+
+
+class TestQueries:
+    def test_degrees(self):
+        g = KnowledgeGraph(range(4), [(0, 1), (0, 2), (3, 0)])
+        assert g.out_degree(0) == 2
+        assert g.in_degree(0) == 1
+        assert g.successors(0) == frozenset({1, 2})
+        assert g.predecessors(0) == frozenset({3})
+
+    def test_undirected_neighbors(self):
+        g = KnowledgeGraph(range(3), [(0, 1), (2, 0)])
+        assert g.undirected_neighbors(0) == {1, 2}
+
+    def test_edges_deterministic_order(self):
+        g = KnowledgeGraph(range(4), [(0, 3), (0, 1), (2, 0)])
+        assert list(g.edges()) == list(g.edges())
+
+    def test_nodes_returns_copy(self):
+        g = KnowledgeGraph([0, 1])
+        nodes = g.nodes
+        nodes.append(99)
+        assert g.n == 2
+
+    def test_repr(self):
+        g = KnowledgeGraph(range(2), [(0, 1)])
+        assert "n=2" in repr(g)
+        assert "m=1" in repr(g)
+
+
+class TestDerived:
+    def test_copy_is_independent(self):
+        g = KnowledgeGraph(range(3), [(0, 1)])
+        h = g.copy()
+        h.add_edge(1, 2)
+        assert not g.has_edge(1, 2)
+        assert h.has_edge(1, 2)
+
+    def test_reversed(self):
+        g = KnowledgeGraph(range(3), [(0, 1), (1, 2)])
+        r = g.reversed()
+        assert r.has_edge(1, 0)
+        assert r.has_edge(2, 1)
+        assert r.n_edges == 2
+        assert not r.has_edge(0, 1)
+
+    def test_string_ids(self):
+        g = KnowledgeGraph(["a", "b"], [("a", "b")])
+        assert g.has_edge("a", "b")
+        assert g.successors("a") == frozenset({"b"})

@@ -1,0 +1,89 @@
+"""Unit tests for the complexity-lemma checkers."""
+
+from repro.sim.trace import MessageStats
+from repro.verification.lemmas import (
+    check_all_lemmas,
+    lemma_5_5_queries,
+    lemma_5_6_search_release,
+    lemma_5_7_merges,
+    lemma_5_8_conquers,
+    theorem_7_bits,
+)
+
+
+def stats_with(**counts):
+    stats = MessageStats()
+    for msg_type, count in counts.items():
+        for _ in range(count):
+            stats.record(msg_type.replace("_", "-"), 8)
+    return stats
+
+
+class TestIndividualLemmas:
+    def test_query_bound(self):
+        ok = lemma_5_5_queries(stats_with(query=10, query_reply=10), n=10)
+        assert ok.holds
+        bad = lemma_5_5_queries(stats_with(query=50, query_reply=50), n=10)
+        assert not bad.holds
+        assert bad.measured == 100
+
+    def test_merge_bound_uses_corrected_3n(self):
+        # 2n < measured <= 3n must pass (finding F1).
+        edge = lemma_5_7_merges(
+            stats_with(merge_accept=10, merge_fail=8, info=10), n=10
+        )
+        assert edge.measured == 28
+        assert edge.holds
+        over = lemma_5_7_merges(stats_with(info=31), n=10)
+        assert not over.holds
+
+    def test_conquer_bound_by_variant(self):
+        stats = stats_with(conquer=25, more_done=25)
+        assert lemma_5_8_conquers(stats, n=16, variant="generic").holds
+        assert not lemma_5_8_conquers(stats, n=16, variant="bounded").holds
+        assert not lemma_5_8_conquers(stats, n=16, variant="adhoc").holds
+        assert lemma_5_8_conquers(MessageStats(), n=16, variant="adhoc").holds
+
+    def test_search_release_scales_with_alpha(self):
+        stats = stats_with(search=100, release=100)
+        assert lemma_5_6_search_release(stats, n=100).holds
+        assert not lemma_5_6_search_release(stats, n=2).holds
+
+    def test_bits_bound(self):
+        stats = MessageStats()
+        stats.record("x", 10_000)
+        assert theorem_7_bits(stats, n=100, n_edges=200).holds
+        stats.record("x", 10**9)
+        assert not theorem_7_bits(stats, n=100, n_edges=200).holds
+
+
+class TestCheckAll:
+    def test_returns_all_seven_checks(self):
+        checks = check_all_lemmas(MessageStats(), 10, 20, "generic")
+        assert len(checks) == 7
+        assert all(c.holds for c in checks)
+
+    def test_id_reconstruction_lemmas(self):
+        from repro.sim.trace import bits_for_ids
+        from repro.verification.lemmas import lemma_5_9_reply_ids, lemma_5_10_info_ids
+
+        stats = MessageStats()
+        # 3 query replies carrying 4 ids each with id_bits=8.
+        for _ in range(3):
+            stats.record("query-reply", bits_for_ids(4, 8) + 1)
+        check = lemma_5_9_reply_ids(stats, n=10, n_edges=20, id_bits=8)
+        assert check.measured == 12
+        assert check.holds
+        # 2 infos carrying 5 ids each (+1 phase int each).
+        for _ in range(2):
+            stats.record("info", bits_for_ids(5, 8, extra_ints=1))
+        check = lemma_5_10_info_ids(stats, n=10, id_bits=8)
+        assert check.measured == 10
+        assert check.holds
+
+    def test_ratio_and_str(self):
+        check = lemma_5_5_queries(stats_with(query=30), n=10)
+        assert 0 < check.ratio <= 1
+        assert "ok" in str(check)
+        bad = lemma_5_5_queries(stats_with(query=100), n=10)
+        assert "FAIL" in str(bad)

@@ -1,0 +1,162 @@
+"""Tests for the two lower-bound constructions."""
+
+import math
+
+import pytest
+
+from repro.graphs.generators import complete_binary_tree
+from repro.graphs.reduction import (
+    FindOp,
+    UnionOp,
+    binomial_merge_schedule,
+    build_reduction_graph,
+    interleaved_find_schedule,
+    random_schedule,
+)
+from repro.lowerbounds.tree_adversary import (
+    TreeAdversary,
+    run_tree_lower_bound,
+    theorem_1_floor,
+)
+from repro.lowerbounds.unionfind_reduction import ReductionDriver, run_reduction
+from repro.sim.events import DeliverToken, WakeToken
+from repro.unionfind.ackermann import alpha
+from repro.verification.invariants import verify_discovery
+
+
+class TestTheorem1Floor:
+    def test_closed_form(self):
+        # i * 2^(i-1) - 2
+        assert theorem_1_floor(2) == 2
+        assert theorem_1_floor(3) == 10
+        assert theorem_1_floor(4) == 30
+        assert theorem_1_floor(1) == 0
+
+    def test_equals_half_n_log_n(self):
+        for i in (3, 6, 10):
+            n = 2**i - 1
+            assert theorem_1_floor(i) >= 0.5 * n * math.log2(n + 1) - 2
+
+
+class TestTreeAdversary:
+    def test_release_order_is_deepest_first(self):
+        adversary = TreeAdversary(4)  # 15 nodes, internal 0..6
+        depths = [TreeAdversary._depth(k) for k in adversary._release_queue]
+        assert depths == sorted(depths, reverse=True)
+        assert adversary._release_queue[-1] == 0  # the root goes last
+
+    def test_leaves_start_released(self):
+        adversary = TreeAdversary(3)
+        assert adversary.released == {3, 4, 5, 6}
+
+    def test_blocks_only_unreleased_senders(self):
+        adversary = TreeAdversary(3)
+        assert adversary.blocks(DeliverToken(0, 1), None)
+        assert not adversary.blocks(DeliverToken(3, 1), None)
+        assert not adversary.blocks(WakeToken(0), None)
+
+    def test_on_stall_exhausts(self):
+        adversary = TreeAdversary(2)  # one internal node: the root
+        assert adversary.on_stall(None)
+        assert not adversary.on_stall(None)
+
+    def test_height_validation(self):
+        with pytest.raises(ValueError):
+            TreeAdversary(0)
+
+
+class TestTreeLowerBound:
+    @pytest.mark.parametrize("height", [2, 3, 4, 5, 6, 7])
+    def test_floor_respected_and_execution_correct(self, height):
+        outcome = run_tree_lower_bound(height)
+        assert outcome.respects_floor, outcome.summary()
+        verify_discovery(outcome.result, complete_binary_tree(height))
+
+    def test_adversary_forces_more_messages_than_fifo(self):
+        """The adversarial schedule must not be cheaper than a benign one
+        by a large margin (it exists to force work)."""
+        from repro.core.generic import run_generic
+
+        height = 6
+        graph = complete_binary_tree(height)
+        benign = run_generic(graph)
+        adversarial = run_tree_lower_bound(height)
+        assert adversarial.measured_messages >= 0.8 * benign.total_messages
+
+    def test_summary_format(self):
+        outcome = run_tree_lower_bound(3)
+        assert "T(3)" in outcome.summary()
+
+
+class TestReductionSchedules:
+    def test_random_schedule_is_valid(self):
+        ops = random_schedule(10, 5, seed=2)
+        unions = [op for op in ops if isinstance(op, UnionOp)]
+        finds = [op for op in ops if isinstance(op, FindOp)]
+        assert len(unions) == 9
+        assert len(finds) == 5
+        # Valid = compiles without the disjointness check firing.
+        build_reduction_graph(10, ops)
+
+    def test_binomial_rounds_down_to_power_of_two(self):
+        ops = binomial_merge_schedule(10, 1, seed=0)  # uses 8 sets
+        unions = [op for op in ops if isinstance(op, UnionOp)]
+        assert len(unions) == 7
+
+    def test_interleaved_finds(self):
+        ops = interleaved_find_schedule(5, 3, seed=0)
+        assert sum(isinstance(op, FindOp) for op in ops) == 4 * 3
+
+    def test_build_validates_indices(self):
+        with pytest.raises(ValueError):
+            build_reduction_graph(3, [UnionOp(0, 5)])
+        with pytest.raises(ValueError):
+            build_reduction_graph(3, [UnionOp(1, 1)])
+        with pytest.raises(TypeError):
+            build_reduction_graph(3, ["not-an-op"])
+
+    def test_build_rejects_too_many_unions(self):
+        with pytest.raises(ValueError):
+            build_reduction_graph(2, [UnionOp(0, 1), UnionOp(0, 1)])
+
+    def test_graph_structure(self):
+        reduction = build_reduction_graph(3, [UnionOp(0, 1), FindOp(2)])
+        g = reduction.graph
+        assert g.n == 5  # 3 set nodes + 1 union node + 1 find node
+        assert g.out_degree(reduction.wake_schedule[0]) == 2
+        assert g.out_degree(reduction.wake_schedule[1]) == 1
+        assert reduction.n_sets == 3
+
+
+class TestReductionDriver:
+    def test_semantics_verified_against_quickfind(self):
+        # verify=True cross-checks the full partition after every operation.
+        run_reduction(8, random_schedule(8, 8, seed=5), verify=True)
+
+    def test_chain_schedule_semantics(self):
+        run_reduction(6, interleaved_find_schedule(6, 2, seed=1), verify=True)
+
+    def test_per_operation_cost_is_bounded(self):
+        """Theorem 6 meets Lemma 3.1: amortized messages per operation stay
+        below a constant times alpha."""
+        outcome = run_reduction(32, random_schedule(32, 32, seed=0), verify=False)
+        per_op = outcome.total_messages / outcome.n_operations
+        assert per_op <= 30
+
+    def test_alpha_ratio_bounded_across_sizes(self):
+        ratios = []
+        for n in (8, 32, 64):
+            outcome = run_reduction(
+                n, binomial_merge_schedule(n, 1, seed=1), verify=False
+            )
+            ratios.append(outcome.alpha_bound_ratio)
+        assert max(ratios) <= 12
+        # And the trend must not be increasing by much (near-linearity).
+        assert ratios[-1] <= ratios[0] * 1.5
+
+    def test_union_merges_leaders(self):
+        reduction = build_reduction_graph(2, [UnionOp(0, 1)])
+        driver = ReductionDriver(reduction)
+        outcome = driver.drive()
+        assert outcome.n_operations == 1
+        assert outcome.total_messages > 0

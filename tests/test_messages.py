@@ -1,0 +1,85 @@
+"""Unit tests for protocol message types and their bit accounting."""
+
+import pytest
+
+from repro.core.messages import (
+    ABORT,
+    MERGE,
+    Conquer,
+    Info,
+    MergeAccept,
+    MergeFail,
+    MoreDone,
+    Probe,
+    ProbeReply,
+    Query,
+    QueryReply,
+    Release,
+    Search,
+)
+from repro.sim.trace import HEADER_BITS
+
+
+B = 16  # id_bits used throughout
+
+
+class TestBitSizes:
+    def test_query_constant(self):
+        assert Query(5).bit_size(B) == HEADER_BITS + B
+
+    def test_query_reply_scales_with_ids(self):
+        small = QueryReply(frozenset({1}), False).bit_size(B)
+        large = QueryReply(frozenset(range(10)), False).bit_size(B)
+        assert large - small == 9 * B
+
+    def test_search_fixed(self):
+        msg = Search(1, 3, 2, False)
+        assert msg.bit_size(B) == HEADER_BITS + 3 * B + 1
+
+    def test_release_fixed(self):
+        assert Release(1, MERGE, 2, 3).bit_size(B) == HEADER_BITS + 3 * B + 1
+
+    def test_control_messages_are_header_sized(self):
+        assert MergeAccept().bit_size(B) == HEADER_BITS
+        assert MergeFail().bit_size(B) == HEADER_BITS
+        assert MoreDone(True).bit_size(B) == HEADER_BITS + 1
+
+    def test_info_scales_with_all_sets(self):
+        msg = Info(2, frozenset({1, 2}), frozenset({3}), frozenset(), frozenset({4}))
+        assert msg.bit_size(B) == HEADER_BITS + (4 + 1) * B
+
+    def test_conquer(self):
+        assert Conquer(7, 3).bit_size(B) == HEADER_BITS + 2 * B
+
+    def test_probe_messages(self):
+        assert Probe(1).bit_size(B) == HEADER_BITS + B
+        assert ProbeReply(1, frozenset({2, 3}), 4).bit_size(B) == HEADER_BITS + 4 * B
+
+
+class TestSemantics:
+    def test_release_answer_validated(self):
+        Release(1, MERGE, 2, 1)
+        Release(1, ABORT, 2, 1)
+        with pytest.raises(ValueError):
+            Release(1, "maybe", 2, 1)
+
+    def test_msg_types_are_distinct(self):
+        types = {
+            Query(1).msg_type,
+            QueryReply(frozenset(), True).msg_type,
+            Search(1, 1, 2, False).msg_type,
+            Release(1, MERGE, 2, 1).msg_type,
+            MergeAccept().msg_type,
+            MergeFail().msg_type,
+            Info(1, frozenset(), frozenset(), frozenset(), frozenset()).msg_type,
+            Conquer(1, 1).msg_type,
+            MoreDone(False).msg_type,
+            Probe(1).msg_type,
+            ProbeReply(1, frozenset(), 2).msg_type,
+        }
+        assert len(types) == 11
+
+    def test_messages_are_immutable(self):
+        msg = Search(1, 1, 2, False)
+        with pytest.raises(Exception):
+            msg.new = True

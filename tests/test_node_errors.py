@@ -1,0 +1,149 @@
+"""Error-path unit tests: every ProtocolError branch fires when it should.
+
+These construct impossible message/state combinations directly; the
+protocol proves they cannot occur in real executions, and the node must
+fail loudly (not corrupt state) if an implementation bug ever produces one.
+"""
+
+import pytest
+
+from repro.core.messages import (
+    ABORT,
+    MERGE,
+    Info,
+    MergeFail,
+    MoreDone,
+    Probe,
+    ProbeReply,
+    Query,
+    QueryReply,
+    Release,
+    Search,
+)
+from repro.core.node import DiscoveryNode, ProtocolError
+from repro.sim.network import Simulator
+
+
+def make_node(status, node_id=5, variant="generic", **fields):
+    sim = Simulator()
+    node = DiscoveryNode(
+        node_id,
+        frozenset(),
+        variant=variant,
+        component_size=3 if variant == "bounded" else None,
+    )
+    sim.add_node(node)
+    node.awake = True
+    node.status = status
+    for name, value in fields.items():
+        setattr(node, name, value)
+    return node
+
+
+class TestReleaseErrors:
+    def test_release_at_idle_wait_raises(self):
+        node = make_node("wait", _awaiting_release=False)
+        with pytest.raises(ProtocolError, match="own release"):
+            node._dispatch(1, Release(1, ABORT, 5, 1))
+
+    def test_release_at_conqueror_raises(self):
+        node = make_node("conqueror", _awaiting_info=True)
+        with pytest.raises(ProtocolError):
+            node._dispatch(1, Release(1, ABORT, 5, 1))
+
+    def test_foreign_release_at_leader_raises(self):
+        node = make_node("wait", _awaiting_release=True)
+        with pytest.raises(ProtocolError, match="route releases"):
+            node._dispatch(1, Release(1, ABORT, 99, 1))
+
+    def test_route_release_with_empty_queue_raises(self):
+        node = make_node("inactive", next=7)
+        with pytest.raises(ProtocolError, match="previous queue empty"):
+            node._dispatch(1, Release(1, MERGE, 99, 1))
+
+
+class TestMergeErrors:
+    def test_merge_fail_outside_conquered_raises(self):
+        for status in ("wait", "passive", "inactive"):
+            node = make_node(status)
+            with pytest.raises(ProtocolError):
+                node._dispatch(1, MergeFail())
+
+    def test_info_outside_conqueror_raises(self):
+        node = make_node("wait")
+        empty = frozenset()
+        with pytest.raises(ProtocolError):
+            node._dispatch(1, Info(1, empty, empty, empty, empty))
+
+    def test_info_after_info_raises(self):
+        node = make_node("conqueror", _awaiting_info=False)
+        empty = frozenset()
+        with pytest.raises(ProtocolError):
+            node._dispatch(1, Info(1, empty, empty, empty, empty))
+
+
+class TestConquerErrors:
+    def test_more_done_from_stranger_raises(self):
+        node = make_node("conqueror", _awaiting_info=False)
+        node.unaware = {3}
+        with pytest.raises(ProtocolError, match="not in unaware"):
+            node._dispatch(4, MoreDone(False))
+
+    def test_more_done_while_awaiting_info_raises(self):
+        node = make_node("conqueror", _awaiting_info=True)
+        with pytest.raises(ProtocolError):
+            node._dispatch(3, MoreDone(False))
+
+    def test_terminated_leader_outranked_raises(self):
+        node = make_node("terminated", variant="bounded", phase=1)
+        with pytest.raises(ProtocolError, match="unsound"):
+            node._dispatch(1, Search(initiator=9, phase=5, target=5, new=False))
+
+
+class TestQueryErrors:
+    def test_unexpected_query_reply_raises(self):
+        node = make_node("explore", _awaiting_query_from=3)
+        with pytest.raises(ProtocolError, match="unexpected query-reply"):
+            node._dispatch(4, QueryReply(frozenset(), True))
+
+    def test_query_at_passive_raises(self):
+        node = make_node("passive")
+        with pytest.raises(ProtocolError, match="inactive"):
+            node._dispatch(1, Query(2))
+
+
+class TestProbeErrors:
+    def test_probe_reply_routing_without_queue_raises(self):
+        node = make_node("inactive", variant="adhoc", next=7)
+        with pytest.raises(ProtocolError, match="probe queue empty"):
+            node._dispatch(1, ProbeReply(7, frozenset(), 99))
+
+    def test_probe_reply_at_conquered_raises(self):
+        node = make_node("conquered", variant="adhoc")
+        with pytest.raises(ProtocolError):
+            node._dispatch(1, ProbeReply(7, frozenset(), 99))
+
+    def test_double_probe_rejected(self):
+        node = make_node("inactive", variant="adhoc", next=7)
+        node._probe_outstanding = True
+        with pytest.raises(ProtocolError, match="outstanding"):
+            node.initiate_probe()
+
+
+class TestDispatchErrors:
+    def test_unknown_message_type_raises(self):
+        class Weird:
+            msg_type = "weird"
+
+            def bit_size(self, b):
+                return 1
+
+        node = make_node("wait")
+        with pytest.raises(ProtocolError, match="unknown message type"):
+            node._dispatch(1, Weird())
+
+    def test_deferred_messages_are_parked_not_lost(self):
+        node = make_node("conquered")
+        search = Search(initiator=1, phase=1, target=5, new=False)
+        node.on_message(1, search)
+        assert node._deferred == [(1, search)]

@@ -1,0 +1,90 @@
+"""Unit tests for the probe machinery's transient-state paths."""
+
+import pytest
+
+from repro.core.messages import MergeAccept, MergeFail, Probe, ProbeReply
+from repro.core.node import DiscoveryNode, ProtocolError
+from repro.sim.network import Simulator
+
+
+def adhoc_node(status, node_id=5, **fields):
+    sim = Simulator()
+    node = DiscoveryNode(node_id, frozenset(), variant="adhoc")
+    sim.add_node(node)
+    # Peers the node may address during the test.
+    for other in (7, 9):
+        sim.add_node(DiscoveryNode(other, frozenset(), variant="adhoc"))
+    node.awake = True
+    node.status = status
+    for name, value in fields.items():
+        setattr(node, name, value)
+    return sim, node
+
+
+class TestProbeFromTransientStates:
+    def test_probe_parks_while_conquered_then_follows_new_leader(self):
+        """A probe issued from a conquered node waits until the node
+        resolves to inactive and then routes along the fresh pointer."""
+        sim, node = adhoc_node("conquered")
+        assert node.initiate_probe() is None
+        # Parked: nothing sent yet, the probe sits in the deferred queue.
+        assert sim.in_flight() == 0
+        assert any(
+            isinstance(msg, Probe) for _s, msg in node._deferred
+        )
+        # The merge completes: node becomes inactive with next = 7 ...
+        node.on_message(7, MergeAccept())
+        assert node.status == "inactive"
+        assert node.next == 7
+        # ... and the parked probe was forwarded to the new leader: the
+        # channel to 7 now carries the info message plus the probe.
+        assert sim.channel_backlog(5, 7) == 2
+
+    def test_probe_parks_while_passive(self):
+        sim, node = adhoc_node("conquered")
+        node.initiate_probe()
+        node.on_message(7, MergeFail())
+        assert node.status == "passive"
+        # Still parked -- passive nodes have no leader to route to yet.
+        assert sim.in_flight() == 0
+        assert any(isinstance(msg, Probe) for _s, msg in node._deferred)
+
+    def test_inactive_routes_own_probe_without_queueing(self):
+        sim, node = adhoc_node("inactive", next=7)
+        node.initiate_probe()
+        assert sim.channel_backlog(5, 7) == 1
+        assert len(node.probe_previous) == 0  # own probes bypass the queue
+
+    def test_foreign_probe_queues_and_forwards(self):
+        sim, node = adhoc_node("inactive", next=7)
+        node.on_message(9, Probe(initiator=9))
+        assert len(node.probe_previous) == 1
+        assert sim.channel_backlog(5, 7) == 1
+        # A second foreign probe queues but does not forward (discipline).
+        node.on_message(9, Probe(initiator=99))
+        assert len(node.probe_previous) == 2
+        assert sim.channel_backlog(5, 7) == 1
+
+    def test_probe_reply_pops_queue_compresses_and_releases_next(self):
+        sim, node = adhoc_node("inactive", next=7)
+        node.on_message(9, Probe(initiator=9))
+        node.on_message(9, Probe(initiator=99))
+        reply = ProbeReply(leader=9, ids=frozenset({1}), initiator=9)
+        node.on_message(7, reply)
+        assert node.next == 9  # compressed toward the answering leader
+        assert len(node.probe_previous) == 1
+        # The reply went back to 9 and the pending probe went out to the
+        # new next (also 9 here).
+        assert sim.channel_backlog(5, 9) == 2
+
+    def test_own_reply_consumed(self):
+        sim, node = adhoc_node("inactive", next=7)
+        node._probe_outstanding = True
+        node.on_message(7, ProbeReply(leader=7, ids=frozenset({5, 7}), initiator=5))
+        assert node.probe_results == [(7, frozenset({5, 7}))]
+        assert not node._probe_outstanding
+
+    def test_leader_answers_probe_directly(self):
+        sim, node = adhoc_node("wait")
+        node.on_message(9, Probe(initiator=9))
+        assert sim.channel_backlog(5, 9) == 1

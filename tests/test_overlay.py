@@ -1,0 +1,94 @@
+"""Tests for the post-discovery ring overlay."""
+
+import math
+
+import pytest
+
+from repro.core.adhoc import run_adhoc
+from repro.graphs.generators import random_weakly_connected
+from repro.overlay import RingOverlay, ring_position
+
+
+class TestRingPosition:
+    def test_stable_across_calls(self):
+        assert ring_position("peer-1") == ring_position("peer-1")
+        assert ring_position(42) == ring_position(42)
+
+    def test_distinct_ids_rarely_collide(self):
+        positions = {ring_position(i) for i in range(1000)}
+        assert len(positions) >= 999  # 32-bit space, 1000 draws
+
+    def test_bits_parameter(self):
+        assert 0 <= ring_position("x", bits=8) < 256
+
+
+class TestConstruction:
+    def test_deterministic_and_canonical(self):
+        members = ["a", "b", "c", "d"]
+        a = RingOverlay.from_membership(members)
+        b = RingOverlay.from_membership(reversed(members))
+        assert a.order == b.order
+        assert a.fingers == b.fingers
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            RingOverlay.from_membership([])
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError):
+            RingOverlay.from_membership(["x", "x"])
+
+    def test_finger_table_size_is_logarithmic(self):
+        ring = RingOverlay.from_membership(range(64))
+        for member in ring.order:
+            assert len(ring.fingers[member]) == 6  # ceil(log2 64)
+
+    def test_singleton_ring(self):
+        ring = RingOverlay.from_membership(["solo"])
+        assert ring.successor("solo") == "solo"
+        assert ring.lookup_path("solo", "anything") == ["solo"]
+
+
+class TestLookup:
+    def test_every_lookup_resolves(self):
+        ring = RingOverlay.from_membership(range(40))
+        for start in list(ring.order)[:10]:
+            for key in list(ring.order)[:10]:
+                path = ring.lookup_path(start, key)
+                assert path[0] == start
+                assert path[-1] == ring.responsible_for(key)
+
+    def test_hops_are_logarithmic(self):
+        for n in (16, 64, 256):
+            ring = RingOverlay.from_membership(range(n))
+            # Sample the diagonal rather than all n^2 pairs at 256.
+            worst = 0
+            for i in range(0, n, max(1, n // 16)):
+                path = ring.lookup_path(ring.order[i], ring.order[(i + n // 2) % n])
+                worst = max(worst, len(path) - 1)
+            assert worst <= math.log2(n) + 1
+
+    def test_max_hops_exhaustive_small(self):
+        ring = RingOverlay.from_membership(range(32))
+        assert ring.max_lookup_hops() <= 6  # log2(32) + 1
+
+    def test_unknown_start_rejected(self):
+        ring = RingOverlay.from_membership(range(4))
+        with pytest.raises(KeyError):
+            ring.lookup_path("ghost", 1)
+
+
+class TestDiscoveryIntegration:
+    def test_overlay_from_discovered_membership(self):
+        """The paper's motivating pipeline end-to-end: discover, then every
+        peer independently computes the same overlay."""
+        graph = random_weakly_connected(50, 120, seed=9)
+        result = run_adhoc(graph, seed=9)
+        members = result.knowledge[result.leaders[0]]
+        assert members == frozenset(graph.nodes)
+        ring_at_leader = RingOverlay.from_membership(members)
+        ring_at_peer = RingOverlay.from_membership(sorted(members))
+        assert ring_at_leader.order == ring_at_peer.order
+        # Routing works between arbitrary discovered peers.
+        path = ring_at_leader.lookup_path(ring_at_leader.order[0], ring_at_leader.order[-1])
+        assert len(path) - 1 <= math.log2(50) + 1

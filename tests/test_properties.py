@@ -1,0 +1,167 @@
+"""Property-based tests (hypothesis) on the core protocol and substrates."""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.adhoc import AdhocNetwork
+from repro.core.runner import build_simulation
+from repro.graphs.generators import random_weakly_connected
+from repro.graphs.knowledge_graph import KnowledgeGraph
+from repro.graphs.reduction import random_schedule
+from repro.lowerbounds.unionfind_reduction import run_reduction
+from repro.verification.invariants import verify_discovery
+from repro.verification.lemmas import check_all_lemmas
+from tests.conftest import run_and_verify
+
+SLOW = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@st.composite
+def knowledge_graphs(draw, max_n=24):
+    """Arbitrary directed graphs -- *not* necessarily connected."""
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    n_edges = draw(st.integers(min_value=0, max_value=3 * n))
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    rng = random.Random(seed)
+    graph = KnowledgeGraph(range(n))
+    for _ in range(n_edges):
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u != v:
+            graph.add_edge(u, v)
+    return graph
+
+
+@st.composite
+def graph_and_seed(draw):
+    return draw(knowledge_graphs()), draw(st.integers(min_value=0, max_value=1000))
+
+
+class TestProtocolProperties:
+    @SLOW
+    @given(graph_and_seed())
+    def test_generic_solves_any_graph_any_schedule(self, case):
+        graph, seed = case
+        run_and_verify("generic", graph, seed=seed)
+
+    @SLOW
+    @given(graph_and_seed())
+    def test_bounded_solves_any_graph_any_schedule(self, case):
+        graph, seed = case
+        run_and_verify("bounded", graph, seed=seed)
+
+    @SLOW
+    @given(graph_and_seed())
+    def test_adhoc_solves_any_graph_any_schedule(self, case):
+        graph, seed = case
+        run_and_verify("adhoc", graph, seed=seed)
+
+    @SLOW
+    @given(graph_and_seed())
+    def test_wake_order_is_irrelevant_to_correctness(self, case):
+        graph, seed = case
+        order = list(graph.nodes)
+        random.Random(seed).shuffle(order)
+        run_and_verify("generic", graph, wake_order=order)
+
+    @SLOW
+    @given(graph_and_seed())
+    def test_safety_holds_at_every_quiescent_prefix(self, case):
+        """Stop the adhoc execution at quiescence after waking only a random
+        prefix of the nodes: property (1)-(2) must hold among awake nodes
+        (each is a leader or transitively attached to one that knows it)."""
+        graph, seed = case
+        rng = random.Random(seed)
+        order = list(graph.nodes)
+        rng.shuffle(order)
+        cut = rng.randrange(1, len(order) + 1)
+        net = AdhocNetwork(graph, seed=seed, auto_wake=False)
+        for node_id in order[:cut]:
+            net.wake(node_id)
+        net.run()
+        for node_id in order[:cut]:
+            node = net.nodes[node_id]
+            current = node_id
+            hops = 0
+            while not net.nodes[current].is_leader:
+                current = net.nodes[current].next
+                hops += 1
+                assert hops <= graph.n, "pointer chain does not terminate"
+            assert node_id in net.nodes[current].knowledge
+
+
+class TestReductionProperty:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.integers(min_value=2, max_value=10),
+        st.integers(min_value=0, max_value=10),
+        st.integers(min_value=0, max_value=500),
+    )
+    def test_reduction_simulates_unionfind(self, n_sets, n_finds, seed):
+        """Lemma 3.1's correctness direction, checked op-by-op inside the
+        driver against a quick-find oracle."""
+        schedule = random_schedule(n_sets, n_finds, seed=seed)
+        run_reduction(n_sets, schedule, verify=True)
+
+
+class TestDeterminism:
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=2, max_value=30), st.integers(min_value=0, max_value=100))
+    def test_same_seed_same_execution(self, n, seed):
+        graph = random_weakly_connected(n, 2 * n, seed=seed)
+
+        def trace_of():
+            sim, nodes = build_simulation(graph, "generic", seed=seed, keep_trace=True)
+            sim.run(10**7)
+            return sim.trace.fingerprint(), sim.stats.total_messages
+
+        first, second = trace_of(), trace_of()
+        assert first == second
+
+
+@st.composite
+def shrinkable_graphs(draw, max_n=14):
+    """A hypothesis-native graph strategy: edges are drawn directly (not
+    via an opaque seed), so failing cases shrink to minimal topologies."""
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    possible = [(u, v) for u in range(n) for v in range(n) if u != v]
+    edges = draw(
+        st.lists(st.sampled_from(possible), max_size=3 * n, unique=True)
+        if possible
+        else st.just([])
+    )
+    return KnowledgeGraph(range(n), edges)
+
+
+class TestShrinkableProperties:
+    """Same safety properties on a strategy that shrinks: a regression here
+    produces a *minimal* failing graph + schedule seed."""
+
+    @SLOW
+    @given(shrinkable_graphs(), st.integers(min_value=0, max_value=50))
+    def test_generic(self, graph, seed):
+        run_and_verify("generic", graph, seed=seed)
+
+    @SLOW
+    @given(shrinkable_graphs(), st.integers(min_value=0, max_value=50))
+    def test_bounded_terminates(self, graph, seed):
+        result = run_and_verify("bounded", graph, seed=seed)
+        assert all(result.statuses[l] == "terminated" for l in result.leaders)
+
+    @SLOW
+    @given(shrinkable_graphs(), st.integers(min_value=0, max_value=50))
+    def test_adhoc_probe_everywhere(self, graph, seed):
+        from repro.core.adhoc import AdhocNetwork
+
+        net = AdhocNetwork(graph, seed=seed)
+        net.run()
+        result = net.result()
+        verify_discovery(result, net.graph)
+        for node_id in net.graph.nodes:
+            leader, ids = net.probe(node_id)
+            assert leader == result.leader_of[node_id]

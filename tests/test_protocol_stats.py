@@ -1,0 +1,90 @@
+"""Tests for protocol profiling -- including the log n phase bound."""
+
+import pytest
+
+from repro.analysis.protocol_stats import profile_execution
+from repro.core.result import collect_result
+from repro.core.runner import build_simulation
+from repro.graphs.generators import (
+    complete_binary_tree,
+    directed_path,
+    random_weakly_connected,
+    star,
+)
+
+
+def run_and_profile(graph, variant="generic", seed=None):
+    sim, nodes = build_simulation(graph, variant, seed=seed)
+    sim.run(10**7)
+    return profile_execution(nodes, sim.stats), nodes
+
+
+class TestPhaseBound:
+    """Lemma 5.8's companion: max phase <= log2 n (+1)."""
+
+    @pytest.mark.parametrize(
+        "maker",
+        [
+            lambda: star(64),
+            lambda: directed_path(64),
+            lambda: complete_binary_tree(6),
+            lambda: random_weakly_connected(128, 400, seed=3),
+        ],
+        ids=["star", "path", "tree", "random"],
+    )
+    @pytest.mark.parametrize("variant", ["generic", "bounded", "adhoc"])
+    def test_holds_everywhere(self, maker, variant):
+        profile, _ = run_and_profile(maker(), variant)
+        assert profile.phase_bound_holds, profile.summary()
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_holds_under_random_schedules(self, seed):
+        graph = random_weakly_connected(100, 300, seed=1)
+        profile, _ = run_and_profile(graph, seed=seed)
+        assert profile.phase_bound_holds, profile.summary()
+
+    def test_phases_actually_grow(self):
+        """Phases are not stuck at 1: a real merge tree builds rank."""
+        graph = random_weakly_connected(200, 600, seed=5)
+        profile, _ = run_and_profile(graph)
+        assert profile.max_phase >= 3
+
+
+class TestHistograms:
+    def test_phase_histogram_accounts_everyone(self):
+        graph = random_weakly_connected(50, 100, seed=2)
+        profile, _ = run_and_profile(graph)
+        assert sum(profile.phase_histogram.values()) == graph.n
+
+    def test_depth_histogram_matches_result_paths(self):
+        graph = directed_path(30)
+        sim, nodes = build_simulation(graph, "adhoc", seed=4)
+        sim.run(10**7)
+        profile = profile_execution(nodes, sim.stats)
+        result = collect_result(graph, nodes, sim, "adhoc")
+        assert profile.max_depth == result.max_path_length
+        assert sum(profile.depth_histogram.values()) == graph.n
+
+    def test_direct_pointers_for_generic(self):
+        graph = random_weakly_connected(40, 120, seed=6)
+        profile, _ = run_and_profile(graph, "generic")
+        assert profile.max_depth <= 1
+
+
+class TestShares:
+    def test_shares_sum_to_one(self):
+        graph = random_weakly_connected(40, 120, seed=7)
+        profile, _ = run_and_profile(graph)
+        assert sum(profile.message_share.values()) == pytest.approx(1.0)
+        assert sum(profile.bit_share.values()) == pytest.approx(1.0)
+
+    def test_search_release_dominate_messages(self):
+        """The Union-Find traffic is the protocol's bulk."""
+        graph = random_weakly_connected(100, 300, seed=8)
+        profile, _ = run_and_profile(graph, "adhoc")
+        assert profile.message_share["search"] + profile.message_share["release"] > 0.4
+
+    def test_summary_format(self):
+        graph = star(8)
+        profile, _ = run_and_profile(graph)
+        assert "max_phase=" in profile.summary()

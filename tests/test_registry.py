@@ -1,0 +1,84 @@
+"""Tests for experiment record persistence and drift detection."""
+
+import pytest
+
+from repro.analysis.registry import (
+    ExperimentRecord,
+    compare_records,
+    load_record,
+    save_record,
+)
+
+
+def make_record(rows=None):
+    return ExperimentRecord(
+        name="EXP-X",
+        headers=["n", "messages", "ok"],
+        rows=rows if rows is not None else [[10, 100, True], [20, 210, True]],
+    )
+
+
+class TestPersistence:
+    def test_roundtrip(self, tmp_path):
+        path = save_record(tmp_path, "EXP-X", ["a", "b"], [[1, 2.5], ["x", True]])
+        assert path.exists()
+        record = load_record(tmp_path, "EXP-X")
+        assert record.headers == ["a", "b"]
+        assert record.rows == [[1, 2.5], ["x", True]]
+        assert "saved" in record.metadata
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ValueError, match="missing fields"):
+            ExperimentRecord.from_json('{"name": "x"}')
+
+
+class TestCompare:
+    def test_identical_records_have_no_drift(self):
+        assert compare_records(make_record(), make_record()) == []
+
+    def test_numeric_drift_within_tolerance_ignored(self):
+        fresh = make_record([[10, 110, True], [20, 220, True]])
+        assert compare_records(make_record(), fresh, rel_tolerance=0.25) == []
+
+    def test_numeric_drift_beyond_tolerance_reported(self):
+        fresh = make_record([[10, 400, True], [20, 210, True]])
+        drifts = compare_records(make_record(), fresh, rel_tolerance=0.25)
+        assert len(drifts) == 1
+        assert "messages" in drifts[0]
+
+    def test_boolean_flip_always_reported(self):
+        fresh = make_record([[10, 100, False], [20, 210, True]])
+        drifts = compare_records(make_record(), fresh)
+        assert len(drifts) == 1
+        assert "False" in drifts[0]
+
+    def test_structural_changes_reported(self):
+        other = ExperimentRecord("EXP-X", ["different"], [[1]])
+        assert "headers changed" in compare_records(make_record(), other)[0]
+        shorter = make_record([[10, 100, True]])
+        assert "row count" in compare_records(make_record(), shorter)[0]
+
+    def test_string_cell_change_reported(self):
+        golden = ExperimentRecord("E", ["k"], [["alpha"]])
+        fresh = ExperimentRecord("E", ["k"], [["beta"]])
+        assert len(compare_records(golden, fresh)) == 1
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            compare_records(make_record(), make_record(), rel_tolerance=-1)
+
+
+class TestBenchmarkIntegration:
+    def test_results_dir_contains_json_twins(self):
+        """After a bench run, every .txt table has a .json record."""
+        import pathlib
+
+        results = pathlib.Path("benchmarks/results")
+        if not results.exists():
+            pytest.skip("benchmarks not yet run")
+        txts = {p.stem for p in results.glob("*.txt")}
+        jsons = {p.stem for p in results.glob("*.json")}
+        # JSON twins appear as benches rerun; at least the overlap loads.
+        for name in txts & jsons:
+            record = load_record(results, name)
+            assert record.rows

@@ -1,0 +1,78 @@
+"""Tests for schedule recording and replay."""
+
+import pytest
+
+from repro.core.result import collect_result
+from repro.core.runner import build_simulation
+from repro.graphs.generators import random_weakly_connected
+from repro.sim.events import DeliverToken, WakeToken
+from repro.sim.replay import RecordingScheduler, ReplayDivergence, ReplayScheduler
+from repro.sim.scheduler import RandomScheduler
+from repro.verification.invariants import verify_discovery
+
+
+def record_run(graph, variant="generic", seed=13):
+    scheduler = RecordingScheduler(RandomScheduler(seed))
+    sim, nodes = build_simulation(graph, variant, scheduler=scheduler, keep_trace=True)
+    sim.run(10**7)
+    result = collect_result(graph, nodes, sim, variant)
+    return scheduler.decisions, sim.trace.fingerprint(), result
+
+
+class TestRecordReplay:
+    @pytest.mark.parametrize("variant", ["generic", "bounded", "adhoc"])
+    def test_replay_reproduces_execution_exactly(self, variant):
+        graph = random_weakly_connected(20, 40, seed=6)
+        decisions, fingerprint, result = record_run(graph, variant)
+        replay = ReplayScheduler(decisions)
+        sim, nodes = build_simulation(graph, variant, scheduler=replay, keep_trace=True)
+        sim.run(10**7)
+        replayed = collect_result(graph, nodes, sim, variant)
+        assert sim.trace.fingerprint() == fingerprint
+        assert replayed.stats.messages_by_type == result.stats.messages_by_type
+        assert replayed.leaders == result.leaders
+        verify_discovery(replayed, graph)
+        assert replay.remaining_script == 0
+
+    def test_recording_wraps_transparently(self):
+        graph = random_weakly_connected(15, 30, seed=2)
+        plain = build_simulation(graph, "generic", seed=7)[0]
+        plain.run(10**7)
+        recorded_sched = RecordingScheduler(RandomScheduler(7))
+        recorded = build_simulation(graph, "generic", scheduler=recorded_sched)[0]
+        recorded.run(10**7)
+        assert recorded.stats.messages_by_type == plain.stats.messages_by_type
+        assert len(recorded_sched.decisions) == recorded.steps
+
+
+class TestDivergenceDetection:
+    def test_wrong_graph_diverges(self):
+        graph = random_weakly_connected(20, 40, seed=6)
+        decisions, _, _ = record_run(graph)
+        other = random_weakly_connected(20, 40, seed=7)
+        replay = ReplayScheduler(decisions)
+        sim, _ = build_simulation(other, "generic", scheduler=replay)
+        with pytest.raises(ReplayDivergence):
+            sim.run(10**7)
+
+    def test_truncated_recording_detected(self):
+        graph = random_weakly_connected(12, 24, seed=3)
+        decisions, _, _ = record_run(graph)
+        replay = ReplayScheduler(decisions[: len(decisions) // 2])
+        sim, _ = build_simulation(graph, "generic", scheduler=replay)
+        with pytest.raises(ReplayDivergence, match="exhausted"):
+            sim.run(10**7)
+
+    def test_unexpected_token_detected(self):
+        replay = ReplayScheduler([DeliverToken("a", "b")])
+        replay.push(WakeToken("a"))
+        with pytest.raises(ReplayDivergence, match="not pending"):
+            replay.pop(None)
+
+    def test_pending_introspection(self):
+        replay = ReplayScheduler([WakeToken("a")])
+        replay.push(WakeToken("a"))
+        assert len(replay) == 1
+        assert list(replay.pending()) == [WakeToken("a")]
+        assert replay.pop(None) == WakeToken("a")
+        assert replay.pop(None) is None

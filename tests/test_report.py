@@ -1,0 +1,42 @@
+"""Tests for the report generator and its CLI command."""
+
+import pytest
+
+from repro.analysis.report import REPORT_SECTIONS, build_report
+from repro.cli import main
+
+
+class TestBuildReport:
+    def test_single_quick_section(self):
+        text = build_report(quick=True, only=["EXP-13"])
+        assert "# Experiment report" in text
+        assert "## EXP-13" in text
+        assert "messages/n" in text
+        assert "## EXP-3" not in text
+
+    def test_unknown_section_rejected(self):
+        with pytest.raises(ValueError, match="unknown section"):
+            build_report(only=["EXP-99"])
+
+    def test_sections_cover_all_cli_experiments(self):
+        from repro.cli import EXPERIMENTS
+
+        # EXP-16 lives only in the scale bench; everything else is here.
+        names = {name for name, _ in REPORT_SECTIONS}
+        assert names == set(EXPERIMENTS)
+
+
+class TestCliReport:
+    def test_report_to_stdout(self, capsys):
+        assert main(["report", "--quick", "EXP-13"]) == 0
+        assert "## EXP-13" in capsys.readouterr().out
+
+    def test_report_to_file(self, tmp_path, capsys):
+        out = tmp_path / "report.md"
+        assert main(["report", "--quick", "EXP-13", "--out", str(out)]) == 0
+        assert "wrote" in capsys.readouterr().out
+        assert "## EXP-13" in out.read_text()
+
+    def test_report_unknown_section(self, capsys):
+        assert main(["report", "EXP-99"]) == 2
+        assert "unknown" in capsys.readouterr().err

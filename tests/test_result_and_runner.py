@@ -1,0 +1,122 @@
+"""Unit tests for result collection and runner plumbing."""
+
+import pytest
+
+from repro.core.node import DiscoveryNode
+from repro.core.result import DiscoveryResult, collect_result, resolve_leader
+from repro.core.runner import build_simulation, default_step_budget, id_bits_for
+from repro.graphs.generators import random_weakly_connected, star
+from repro.graphs.knowledge_graph import KnowledgeGraph
+from repro.sim.network import Simulator
+from repro.sim.trace import MessageStats
+
+
+class TestIdBits:
+    def test_values(self):
+        assert id_bits_for(0) == 1
+        assert id_bits_for(1) == 1
+        assert id_bits_for(2) == 1
+        assert id_bits_for(3) == 2
+        assert id_bits_for(256) == 8
+        assert id_bits_for(257) == 9
+
+
+class TestStepBudget:
+    def test_grows_with_graph(self):
+        small = default_step_budget(star(10))
+        large = default_step_budget(star(1000))
+        assert large > small
+
+    def test_dominates_real_executions(self):
+        from repro.core.generic import run_generic
+
+        graph = random_weakly_connected(60, 300, seed=1)
+        result = run_generic(graph, seed=0)
+        assert result.steps < default_step_budget(graph) / 10
+
+
+class TestResolveLeader:
+    def make_nodes(self):
+        sim = Simulator()
+        nodes = {}
+        for node_id in (0, 1, 2):
+            node = DiscoveryNode(node_id, frozenset())
+            sim.add_node(node)
+            nodes[node_id] = node
+        return nodes
+
+    def test_follows_chain(self):
+        nodes = self.make_nodes()
+        nodes[0].status = "wait"  # leader
+        nodes[1].status = "inactive"
+        nodes[1].next = 0
+        nodes[2].status = "inactive"
+        nodes[2].next = 1
+        assert resolve_leader(nodes, 2) == 0
+        assert resolve_leader(nodes, 0) == 0
+
+    def test_stuck_chain_raises(self):
+        nodes = self.make_nodes()
+        nodes[0].status = "passive"  # not a leader, next == self
+        with pytest.raises(RuntimeError, match="stuck"):
+            resolve_leader(nodes, 0)
+
+    def test_cycle_raises(self):
+        nodes = self.make_nodes()
+        for node in nodes.values():
+            node.status = "inactive"
+        nodes[0].next, nodes[1].next, nodes[2].next = 1, 2, 0
+        with pytest.raises(RuntimeError):
+            resolve_leader(nodes, 0)
+
+
+class TestCollectResult:
+    def test_multi_component_knowledge(self):
+        from repro.graphs.generators import disjoint_union
+
+        graph = disjoint_union(star(4), star(3))
+        sim, nodes = build_simulation(graph, "adhoc")
+        sim.run(10**6)
+        result = collect_result(graph, nodes, sim, "adhoc")
+        assert len(result.leaders) == 2
+        sizes = sorted(len(result.knowledge[l]) for l in result.leaders)
+        assert sizes == [3, 4]
+
+    def test_summary_mentions_everything(self):
+        graph = star(4)
+        sim, nodes = build_simulation(graph, "generic")
+        sim.run(10**6)
+        result = collect_result(graph, nodes, sim, "generic")
+        text = result.summary()
+        for fragment in ("generic", "n=4", "leaders=1", "messages="):
+            assert fragment in text
+
+    def test_leader_for(self):
+        graph = KnowledgeGraph([0, 1], [(1, 0)])
+        sim, nodes = build_simulation(graph, "generic")
+        sim.run(10**6)
+        result = collect_result(graph, nodes, sim, "generic")
+        assert result.leader_for(0) == result.leader_for(1) == result.leaders[0]
+
+
+class TestBuildSimulation:
+    def test_bounded_gets_component_sizes(self):
+        from repro.graphs.generators import disjoint_union
+
+        graph = disjoint_union(star(5), star(3))
+        _, nodes = build_simulation(graph, "bounded")
+        sizes = sorted({node.component_size for node in nodes.values()})
+        assert sizes == [3, 5]
+
+    def test_auto_wake_false_leaves_everyone_asleep(self):
+        graph = star(4)
+        sim, nodes = build_simulation(graph, "generic", auto_wake=False)
+        sim.run(10**6)
+        assert all(not node.awake for node in nodes.values())
+
+    def test_custom_wake_order_is_respected_by_fifo(self):
+        graph = KnowledgeGraph([0, 1])
+        sim, nodes = build_simulation(graph, "generic", wake_order=[1, 0], keep_trace=True)
+        sim.run(10**6)
+        wake_order = [e.dst for e in sim.trace if e.kind == "wake"]
+        assert wake_order == [1, 0]

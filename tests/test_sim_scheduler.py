@@ -1,0 +1,108 @@
+"""Unit tests for scheduling policies and the adversary hook."""
+
+import pytest
+
+from repro.sim.events import DeliverToken, WakeToken
+from repro.sim.scheduler import (
+    AdversarialScheduler,
+    Adversary,
+    GlobalFifoScheduler,
+    LifoScheduler,
+    RandomScheduler,
+)
+
+
+def tokens(n):
+    return [DeliverToken(f"s{i}", f"d{i}") for i in range(n)]
+
+
+class TestOrders:
+    def test_fifo(self):
+        sched = GlobalFifoScheduler()
+        ts = tokens(5)
+        for t in ts:
+            sched.push(t)
+        assert [sched.pop(None) for _ in range(5)] == ts
+        assert sched.pop(None) is None
+
+    def test_lifo(self):
+        sched = LifoScheduler()
+        ts = tokens(5)
+        for t in ts:
+            sched.push(t)
+        assert [sched.pop(None) for _ in range(5)] == list(reversed(ts))
+
+    def test_random_is_seed_deterministic(self):
+        def drain(seed):
+            sched = RandomScheduler(seed)
+            for t in tokens(20):
+                sched.push(t)
+            return [sched.pop(None) for _ in range(20)]
+
+        assert drain(7) == drain(7)
+        assert drain(7) != drain(8)
+
+    def test_random_pops_everything_exactly_once(self):
+        sched = RandomScheduler(3)
+        ts = tokens(30)
+        for t in ts:
+            sched.push(t)
+        popped = [sched.pop(None) for _ in range(30)]
+        assert sorted(popped, key=repr) == sorted(ts, key=repr)
+        assert len(sched) == 0
+
+    def test_len_and_pending(self):
+        for sched in (GlobalFifoScheduler(), LifoScheduler(), RandomScheduler(0)):
+            for t in tokens(3):
+                sched.push(t)
+            assert len(sched) == 3
+            assert len(list(sched.pending())) == 3
+
+
+class StallCounter(Adversary):
+    """Blocks deliveries from sources not yet released; releases one source
+    per stall, in a fixed order."""
+
+    def __init__(self, order):
+        self.order = list(order)
+        self.released = set()
+        self.stalls = 0
+
+    def blocks(self, token, sim):
+        return isinstance(token, DeliverToken) and token.src not in self.released
+
+    def on_stall(self, sim):
+        if not self.order:
+            return False
+        self.stalls += 1
+        self.released.add(self.order.pop(0))
+        return True
+
+
+class TestAdversarial:
+    def test_release_ordering(self):
+        adversary = StallCounter(["s1", "s0"])
+        sched = AdversarialScheduler(adversary)
+        t0, t1 = DeliverToken("s0", "x"), DeliverToken("s1", "x")
+        sched.push(t0)
+        sched.push(t1)
+        # s1 is released first, so t1 must come out before t0.
+        assert sched.pop(None) == t1
+        assert adversary.stalls == 1
+        assert sched.pop(None) == t0
+        assert adversary.stalls == 2
+
+    def test_wakes_never_blocked(self):
+        adversary = StallCounter([])
+        sched = AdversarialScheduler(adversary)
+        w = WakeToken("n")
+        sched.push(DeliverToken("s0", "x"))
+        sched.push(w)
+        assert sched.pop(None) == w
+
+    def test_gives_up_when_adversary_concedes(self):
+        adversary = StallCounter([])
+        sched = AdversarialScheduler(adversary)
+        sched.push(DeliverToken("s0", "x"))
+        assert sched.pop(None) is None
+        assert len(sched) == 1

@@ -1,0 +1,81 @@
+"""Unit tests for message/bit accounting and execution traces."""
+
+from repro.sim.trace import (
+    HEADER_BITS,
+    ExecutionTrace,
+    MessageStats,
+    TraceEvent,
+    bits_for_ids,
+)
+
+
+class TestBitsForIds:
+    def test_header_only(self):
+        assert bits_for_ids(0, 10) == HEADER_BITS
+
+    def test_ids_and_ints(self):
+        assert bits_for_ids(3, 10) == HEADER_BITS + 30
+        assert bits_for_ids(1, 8, extra_ints=2) == HEADER_BITS + 24
+
+
+class TestMessageStats:
+    def test_record_and_totals(self):
+        stats = MessageStats()
+        stats.record("a", 10)
+        stats.record("a", 5)
+        stats.record("b", 1)
+        assert stats.total_messages == 3
+        assert stats.total_bits == 16
+        assert stats.messages("a") == 2
+        assert stats.messages("a", "b") == 3
+        assert stats.bits("a") == 15
+        assert stats.messages("missing") == 0
+
+    def test_snapshot_is_independent(self):
+        stats = MessageStats()
+        stats.record("a", 1)
+        snap = stats.snapshot()
+        stats.record("a", 1)
+        assert snap.total_messages == 1
+        assert stats.total_messages == 2
+
+    def test_delta_since(self):
+        stats = MessageStats()
+        stats.record("a", 4)
+        before = stats.snapshot()
+        stats.record("a", 4)
+        stats.record("b", 2)
+        delta = stats.delta_since(before)
+        assert delta.messages_by_type == {"a": 1, "b": 1}
+        assert delta.bits_by_type == {"a": 4, "b": 2}
+
+    def test_merged_with(self):
+        left = MessageStats({"a": 1}, {"a": 10})
+        right = MessageStats({"a": 2, "b": 1}, {"a": 20, "b": 5})
+        merged = left.merged_with(right)
+        assert merged.messages_by_type == {"a": 3, "b": 1}
+        assert merged.bits_by_type == {"a": 30, "b": 5}
+        # Inputs untouched.
+        assert left.messages_by_type == {"a": 1}
+
+    def test_repr_mentions_totals(self):
+        stats = MessageStats()
+        stats.record("x", 2)
+        assert "messages=1" in repr(stats)
+
+
+class TestExecutionTrace:
+    def test_append_iter_len(self):
+        trace = ExecutionTrace()
+        trace.append(TraceEvent(1, "wake", None, "a", None))
+        trace.append(TraceEvent(2, "deliver", "a", "b", "ping"))
+        assert len(trace) == 2
+        assert [e.kind for e in trace] == ["wake", "deliver"]
+
+    def test_fingerprint_equality(self):
+        t1, t2 = ExecutionTrace(), ExecutionTrace()
+        for t in (t1, t2):
+            t.append(TraceEvent(1, "deliver", "a", "b", "m"))
+        assert t1.fingerprint() == t2.fingerprint()
+        t2.append(TraceEvent(2, "deliver", "b", "a", "m"))
+        assert t1.fingerprint() != t2.fingerprint()

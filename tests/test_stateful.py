@@ -1,0 +1,67 @@
+"""Hypothesis stateful testing: arbitrary interleavings of Section 6
+operations against a live Ad-hoc network, with every invariant checked
+after every operation."""
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.core.adhoc import AdhocNetwork
+from repro.graphs.generators import star
+from repro.verification.invariants import verify_discovery
+from repro.verification.monitor import check_safety_now
+
+
+class AdhocDynamicsMachine(RuleBasedStateMachine):
+    """Random joins, links and probes must never break the properties."""
+
+    def __init__(self):
+        super().__init__()
+        self.net = AdhocNetwork(star(3), seed=0)
+        self.net.run()
+        self.next_id = 3
+
+    def _ids(self):
+        return self.net.graph.nodes
+
+    @rule(data=st.data())
+    def join(self, data):
+        ids = self._ids()
+        k = data.draw(st.integers(min_value=0, max_value=min(3, len(ids))))
+        known = data.draw(
+            st.lists(st.sampled_from(ids), min_size=k, max_size=k, unique=True)
+        ) if k else []
+        self.net.add_node(self.next_id, known)
+        self.next_id += 1
+        self.net.run()
+
+    @rule(data=st.data())
+    def link(self, data):
+        ids = self._ids()
+        u = data.draw(st.sampled_from(ids))
+        v = data.draw(st.sampled_from(ids))
+        self.net.add_link(u, v)
+        self.net.run()
+
+    @rule(data=st.data())
+    def probe(self, data):
+        node_id = data.draw(st.sampled_from(self._ids()))
+        leader, members = self.net.probe(node_id)
+        result = self.net.result()
+        assert leader == result.leader_of[node_id]
+        assert members == result.knowledge[leader]
+
+    @invariant()
+    def all_properties_hold(self):
+        check_safety_now(self.net.nodes)
+        verify_discovery(self.net.result(), self.net.graph)
+
+
+AdhocDynamicsMachine.TestCase.settings = settings(
+    max_examples=12,
+    stateful_step_count=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+TestAdhocDynamics = AdhocDynamicsMachine.TestCase

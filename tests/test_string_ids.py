@@ -1,0 +1,72 @@
+"""End-to-end runs with non-integer node ids.
+
+Ids in the model are opaque addresses (IP-like); everything must work for
+any mutually-orderable hashable ids.  The Union-Find reduction already
+uses string ids internally; these tests pin the full surface.
+"""
+
+import pytest
+
+from repro.baselines import run_kpv_style, run_law_siu, run_name_dropper, verify_baseline
+from repro.core.adhoc import AdhocNetwork
+from repro.graphs.knowledge_graph import KnowledgeGraph
+from tests.conftest import run_and_verify
+
+
+def named_graph():
+    peers = ["alice", "bob", "carol", "dave", "erin", "frank"]
+    edges = [
+        ("alice", "bob"),
+        ("carol", "bob"),
+        ("carol", "dave"),
+        ("erin", "dave"),
+        ("frank", "alice"),
+        ("frank", "erin"),
+    ]
+    return KnowledgeGraph(peers, edges)
+
+
+@pytest.mark.parametrize("seed", [None, 1, 2])
+def test_core_variants_with_string_ids(variant, seed):
+    graph = named_graph()
+    result = run_and_verify(variant, graph, seed=seed)
+    assert result.leaders[0] in graph.nodes
+
+
+def test_lexicographic_tiebreak_decides_leader():
+    """(phase, id) comparisons use the ids' native order: on a two-node
+    mutual-knowledge graph the lexicographically larger name wins."""
+    graph = KnowledgeGraph(["ant", "zebra"], [("ant", "zebra"), ("zebra", "ant")])
+    result = run_and_verify("generic", graph)
+    assert result.leaders == ["zebra"]
+
+
+def test_adhoc_dynamics_with_string_ids():
+    net = AdhocNetwork(named_graph(), seed=3)
+    net.run()
+    net.add_node("grace", known=["alice"])
+    net.add_link("bob", "grace")
+    net.run()
+    leader, members = net.probe("grace")
+    assert members == frozenset(
+        ["alice", "bob", "carol", "dave", "erin", "frank", "grace"]
+    )
+
+
+def test_baselines_with_string_ids():
+    graph = named_graph()
+    for runner in (
+        lambda g: run_name_dropper(g, seed=1),
+        lambda g: run_law_siu(g, seed=1),
+        run_kpv_style,
+    ):
+        result = runner(graph)
+        verify_baseline(result, graph)
+
+
+def test_mixed_types_not_required_but_tuples_work():
+    """Tuple ids (orderable, hashable) also work end-to-end."""
+    nodes = [(0, "a"), (0, "b"), (1, "a")]
+    graph = KnowledgeGraph(nodes, [((0, "a"), (0, "b")), ((1, "a"), (0, "a"))])
+    result = run_and_verify("adhoc", graph)
+    assert len(result.leaders) == 1

@@ -1,0 +1,78 @@
+"""Unit tests for the token-traversal election internals."""
+
+import pytest
+
+from repro.baselines.strong_election import Elected, Token, TraversalNode, run_strong_election
+from repro.graphs.generators import directed_cycle, random_strongly_connected
+from repro.graphs.knowledge_graph import KnowledgeGraph
+from repro.sim.network import Simulator
+
+
+def wired(nodes_spec):
+    sim = Simulator()
+    nodes = {}
+    for node_id, local in nodes_spec.items():
+        node = TraversalNode(node_id, frozenset(local))
+        nodes[node_id] = node
+        sim.add_node(node)
+    return sim, nodes
+
+
+class TestTraversal:
+    def test_non_initiator_wake_is_silent(self):
+        sim, nodes = wired({0: {1}, 1: {0}})
+        nodes[0].awake = True
+        nodes[0].on_wake()
+        assert sim.in_flight() == 0
+
+    def test_token_jumps_to_min_unvisited(self):
+        sim, nodes = wired({0: {1, 2}, 1: set(), 2: set()})
+        nodes[0].awake = True
+        nodes[0].initiator = True
+        nodes[0].on_wake()
+        assert sim.channel_backlog(0, 1) == 1  # min(unvisited) first
+
+    def test_completion_broadcast(self):
+        sim, nodes = wired({0: {1}, 1: set()})
+        nodes[1].awake = True
+        nodes[1].on_message(
+            0, Token(visited=frozenset({0}), pool=frozenset({0, 1}))
+        )
+        # 1 completes the traversal: pool exhausted -> elects max id 1,
+        # broadcasts Elected to node 0.
+        assert nodes[1].leader == 1
+        assert sim.channel_backlog(1, 0) == 1
+
+    def test_elected_message_adopted(self):
+        sim, nodes = wired({0: set(), 1: set()})
+        nodes[0].awake = True
+        nodes[0].on_message(1, Elected(leader=1, ids=frozenset({0, 1})))
+        assert nodes[0].leader == 1
+        assert nodes[0].known == frozenset({0, 1})
+
+    def test_unexpected_message_rejected(self):
+        class Junk:
+            msg_type = "junk"
+
+            def bit_size(self, b):
+                return 1
+
+        sim, nodes = wired({0: set()})
+        nodes[0].awake = True
+        with pytest.raises(ValueError):
+            nodes[0].on_message(1, Junk())
+
+
+class TestRunnerEdges:
+    def test_unknown_initiator_rejected(self):
+        with pytest.raises(KeyError):
+            run_strong_election(directed_cycle(4), initiator="ghost")
+
+    def test_bit_heaviness_is_real(self):
+        """The token carries O(n) ids: bits grow quadratically even though
+        messages stay linear (the trade the docstring promises)."""
+        small = run_strong_election(random_strongly_connected(32, 32, seed=1))
+        large = run_strong_election(random_strongly_connected(128, 128, seed=1))
+        msg_growth = large.total_messages / small.total_messages
+        bit_growth = large.total_bits / small.total_bits
+        assert bit_growth > 3 * msg_growth

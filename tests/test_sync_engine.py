@@ -1,0 +1,100 @@
+"""Unit tests for the synchronous round engine."""
+
+import pytest
+
+from repro.sim.trace import bits_for_ids
+from repro.sync.engine import RoundLimitExceeded, SyncNode, SyncSimulator
+
+
+class Msg:
+    msg_type = "m"
+
+    def __init__(self, tag):
+        self.tag = tag
+
+    def bit_size(self, id_bits):
+        return bits_for_ids(1, id_bits)
+
+
+class Relay(SyncNode):
+    """Sends `count` messages to `target` on round 1, then echoes inbox."""
+
+    def __init__(self, node_id, target=None, count=0, echo=False):
+        super().__init__(node_id)
+        self.target = target
+        self.count = count
+        self.echo = echo
+        self.seen = []
+
+    def on_round(self, round_no, inbox):
+        out = []
+        for sender, msg in inbox:
+            self.seen.append((round_no, sender, msg.tag))
+            if self.echo:
+                out.append((sender, Msg(msg.tag + 1)))
+        if round_no == 1 and self.target is not None:
+            out.extend((self.target, Msg(i)) for i in range(self.count))
+        return out
+
+
+class TestRounds:
+    def test_delivery_next_round(self):
+        sim = SyncSimulator()
+        a = Relay("a", target="b", count=1)
+        b = Relay("b")
+        sim.add_node(a)
+        sim.add_node(b)
+        sim.run()
+        assert b.seen == [(2, "a", 0)]
+        assert sim.rounds == 2
+
+    def test_silence_terminates(self):
+        sim = SyncSimulator()
+        sim.add_node(Relay("a"))
+        assert sim.run() == 1
+
+    def test_round_limit(self):
+        sim = SyncSimulator()
+        a = Relay("a", target="b", count=1, echo=True)
+        b = Relay("b", echo=True)
+        sim.add_node(a)
+        sim.add_node(b)
+        with pytest.raises(RoundLimitExceeded):
+            sim.run(max_rounds=10)
+
+    def test_stats(self):
+        sim = SyncSimulator(id_bits=8)
+        a = Relay("a", target="b", count=3)
+        sim.add_node(a)
+        sim.add_node(Relay("b"))
+        sim.run()
+        assert sim.stats.total_messages == 3
+        assert sim.stats.total_bits == 3 * bits_for_ids(1, 8)
+
+    def test_pending(self):
+        sim = SyncSimulator()
+        a = Relay("a", target="b", count=2)
+        sim.add_node(a)
+        sim.add_node(Relay("b"))
+        sim.step_round()
+        assert sim.pending() == 2
+
+
+class TestValidation:
+    def test_self_send_rejected(self):
+        sim = SyncSimulator()
+        sim.add_node(Relay("a", target="a", count=1))
+        with pytest.raises(ValueError):
+            sim.step_round()
+
+    def test_unknown_target_rejected(self):
+        sim = SyncSimulator()
+        sim.add_node(Relay("a", target="ghost", count=1))
+        with pytest.raises(KeyError):
+            sim.step_round()
+
+    def test_duplicate_node_rejected(self):
+        sim = SyncSimulator()
+        sim.add_node(Relay("a"))
+        with pytest.raises(ValueError):
+            sim.add_node(Relay("a"))

@@ -1,0 +1,146 @@
+"""Unit tests for virtual-time scheduling."""
+
+import pytest
+
+from repro.core.runner import build_simulation
+from repro.graphs.generators import directed_path, random_weakly_connected, star
+from repro.sim.events import DeliverToken, WakeToken
+from repro.sim.network import SimNode, Simulator
+from repro.sim.timed import TimedScheduler
+from repro.sim.trace import bits_for_ids
+from repro.verification.invariants import verify_discovery
+from repro.core.result import collect_result
+
+
+class Ping:
+    msg_type = "ping"
+
+    def __init__(self, tag=0):
+        self.tag = tag
+
+    def bit_size(self, id_bits):
+        return bits_for_ids(1, id_bits)
+
+
+class Echoer(SimNode):
+    """Replies to the first `hops` pings, building a causal chain."""
+
+    def __init__(self, node_id, peer, hops):
+        super().__init__(node_id)
+        self.peer = peer
+        self.hops = hops
+        self.received = 0
+
+    def on_wake(self):
+        if self.node_id == "a":
+            self.send(self.peer, Ping())
+
+    def on_message(self, sender, message):
+        self.received += 1
+        if self.received < self.hops:
+            self.send(sender, Ping())
+
+
+class TestClock:
+    def test_causal_chain_advances_clock_by_hops(self):
+        scheduler = TimedScheduler()
+        sim = Simulator(scheduler)
+        sim.add_node(Echoer("a", "b", hops=5))
+        sim.add_node(Echoer("b", "a", hops=5))
+        sim.schedule_wake("a")
+        sim.schedule_wake("b")
+        sim.run()
+        # a->b, b->a, ... : 9 messages end-to-end, 1 unit each.
+        assert scheduler.now == 9.0
+
+    def test_custom_constant_latency(self):
+        scheduler = TimedScheduler(latency=2.5)
+        sim = Simulator(scheduler)
+        sim.add_node(Echoer("a", "b", hops=1))
+        sim.add_node(Echoer("b", "a", hops=1))
+        sim.schedule_wake("a")
+        sim.schedule_wake("b")
+        sim.run()
+        assert scheduler.now == 2.5
+
+    def test_callable_latency(self):
+        scheduler = TimedScheduler(latency=lambda src, dst: 0.5 if src == "a" else 3.0)
+        sim = Simulator(scheduler)
+        sim.add_node(Echoer("a", "b", hops=2))
+        sim.add_node(Echoer("b", "a", hops=2))
+        sim.schedule_wake("a")
+        sim.schedule_wake("b")
+        sim.run()
+        # a->b at 0.5, b->a at 3.5, a->b at 4.0.
+        assert scheduler.now == 4.0
+
+    def test_wake_times(self):
+        scheduler = TimedScheduler(wake_times={"a": 7.0})
+        sim = Simulator(scheduler)
+        sim.add_node(Echoer("a", "b", hops=1))
+        sim.add_node(Echoer("b", "a", hops=1))
+        sim.schedule_wake("a")
+        sim.schedule_wake("b")
+        sim.run()
+        assert scheduler.now == 8.0  # woke at 7, one message hop
+
+    def test_latency_validation(self):
+        with pytest.raises(ValueError):
+            TimedScheduler(latency=0)
+        scheduler = TimedScheduler(latency=lambda s, d: -1.0)
+        sim = Simulator(scheduler)
+        sim.add_node(Echoer("a", "b", hops=1))
+        sim.add_node(Echoer("b", "a", hops=1))
+        sim.schedule_wake("a")
+        with pytest.raises(ValueError):
+            sim.run()
+
+    def test_pending_and_len(self):
+        scheduler = TimedScheduler()
+        scheduler.push(WakeToken("x"))
+        scheduler.push(WakeToken("y"))
+        assert len(scheduler) == 2
+        assert len(list(scheduler.pending())) == 2
+
+
+class TestProtocolUnderTiming:
+    @pytest.mark.parametrize("variant", ["generic", "bounded", "adhoc"])
+    def test_discovery_correct_under_unit_latency(self, variant):
+        graph = random_weakly_connected(25, 60, seed=4)
+        scheduler = TimedScheduler()
+        sim, nodes = build_simulation(graph, variant, scheduler=scheduler)
+        sim.run(10**7)
+        verify_discovery(collect_result(graph, nodes, sim, variant), graph)
+        assert scheduler.now > 0
+
+    def test_discovery_correct_under_jitter(self):
+        import random
+
+        rng = random.Random(9)
+        graph = random_weakly_connected(25, 60, seed=5)
+        scheduler = TimedScheduler(latency=lambda s, d: rng.uniform(0.1, 5.0))
+        sim, nodes = build_simulation(graph, "generic", scheduler=scheduler)
+        sim.run(10**7)
+        verify_discovery(collect_result(graph, nodes, sim, "generic"), graph)
+
+    def test_late_wakeup_adds_T_not_multiplies(self):
+        """The Section 7 wake-up model: completion ~ T + O(n), so doubling
+        T shifts the clock additively."""
+        graph = star(20)
+        times = {}
+        for T in (0.0, 50.0):
+            scheduler = TimedScheduler(wake_times={0: T})
+            sim, nodes = build_simulation(graph, "generic", scheduler=scheduler)
+            sim.run(10**7)
+            times[T] = scheduler.now
+        assert times[50.0] <= times[0.0] + 50.0 + 1e-9
+        assert times[50.0] >= 50.0
+
+    def test_path_graph_time_linear_in_n(self):
+        times = []
+        for n in (20, 40, 80):
+            scheduler = TimedScheduler()
+            sim, nodes = build_simulation(directed_path(n), "adhoc", scheduler=scheduler)
+            sim.run(10**7)
+            times.append(scheduler.now / n)
+        assert max(times) / min(times) <= 2.0

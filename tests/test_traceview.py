@@ -1,0 +1,77 @@
+"""Tests for the trace renderers."""
+
+import pytest
+
+from repro.analysis.traceview import format_trace, sequence_diagram, trace_summary
+from repro.core.runner import build_simulation
+from repro.graphs.knowledge_graph import KnowledgeGraph
+from repro.sim.trace import ExecutionTrace, TraceEvent
+
+
+def traced_run():
+    graph = KnowledgeGraph([0, 1, 2], [(0, 1), (1, 2)])
+    sim, nodes = build_simulation(graph, "generic", keep_trace=True)
+    sim.run(10**6)
+    return graph, sim
+
+
+class TestFormatTrace:
+    def test_contains_wakes_and_deliveries(self):
+        _, sim = traced_run()
+        text = format_trace(sim.trace)
+        assert "wake 0" in text
+        assert "--search-->" in text
+
+    def test_limit_truncates(self):
+        _, sim = traced_run()
+        text = format_trace(sim.trace, limit=3)
+        assert len(text.splitlines()) == 4
+        assert "more events" in text
+
+    def test_empty_trace(self):
+        assert format_trace(ExecutionTrace()) == ""
+
+
+class TestSummary:
+    def test_counts_match_stats(self):
+        _, sim = traced_run()
+        summary = trace_summary(sim.trace)
+        assert summary["wake"] == 3
+        delivered = sum(v for k, v in summary.items() if k.startswith("deliver:"))
+        assert delivered == sim.stats.total_messages
+
+    def test_handmade(self):
+        trace = ExecutionTrace()
+        trace.append(TraceEvent(1, "wake", None, "a", None))
+        trace.append(TraceEvent(2, "deliver", "a", "b", "x"))
+        trace.append(TraceEvent(3, "deliver", "b", "a", "x"))
+        assert trace_summary(trace) == {"wake": 1, "deliver:x": 2}
+
+
+class TestSequenceDiagram:
+    def test_renders_lanes_and_arrows(self):
+        graph, sim = traced_run()
+        diagram = sequence_diagram(sim.trace, graph.nodes)
+        lines = diagram.splitlines()
+        assert lines[0].split() == ["0", "1", "2"]
+        assert any(">" in line for line in lines)
+        assert any("<" in line for line in lines)
+        assert any("wake" in line for line in lines)
+
+    def test_limit(self):
+        graph, sim = traced_run()
+        diagram = sequence_diagram(sim.trace, graph.nodes, limit=2)
+        assert "more events" in diagram
+
+    def test_empty_nodes(self):
+        assert sequence_diagram(ExecutionTrace(), []) == ""
+
+    def test_duplicate_lane_rejected(self):
+        with pytest.raises(ValueError):
+            sequence_diagram(ExecutionTrace(), ["a", "a"])
+
+    def test_unknown_node_raises(self):
+        trace = ExecutionTrace()
+        trace.append(TraceEvent(1, "deliver", "ghost", "a", "x"))
+        with pytest.raises(KeyError):
+            sequence_diagram(trace, ["a"])
