@@ -1,0 +1,85 @@
+"""BENCH: serial vs parallel wall-clock on an EXP-16-style scale sweep.
+
+Times the same multi-seed near-linear scaling sweep (the workload behind
+EXP-4/EXP-16) twice -- serially and through a 4-worker
+:class:`repro.parallel.ParallelExecutor` -- asserts the aggregated tables
+are bitwise identical (the engine's determinism guarantee, checked with
+zero tolerance), and appends both wall-clocks to ``BENCH_parallel.json``
+at the repository root: the first entry in the repo's perf trajectory.
+
+No speedup is *asserted*: CI boxes may have a single core, where the pool
+is pure overhead.  The JSON records whatever the hardware gave us.
+"""
+
+import datetime
+import json
+import pathlib
+import time
+
+from repro.analysis.registry import ExperimentRecord, compare_records
+from repro.analysis.sweep import aggregate_tables
+from repro.parallel import ParallelExecutor
+
+BENCH_PATH = pathlib.Path(__file__).parents[1] / "BENCH_parallel.json"
+
+EXPERIMENT = "near-linear"
+KWARGS = {"ns": (64, 128, 256)}
+SEEDS = range(6)
+WORKERS = 4
+
+
+def _timed_sweep(workers: int):
+    executor = ParallelExecutor(workers=workers)
+    start = time.perf_counter()
+    tables = executor.map_seeds(EXPERIMENT, SEEDS, **KWARGS)
+    wall = time.perf_counter() - start
+    headers, rows = aggregate_tables(tables)
+    return wall, ExperimentRecord(f"{EXPERIMENT}-sweep", headers, rows)
+
+
+def test_parallel_speedup(benchmark, record_table):
+    def run():
+        serial_wall, serial_record = _timed_sweep(workers=1)
+        parallel_wall, parallel_record = _timed_sweep(workers=WORKERS)
+        return serial_wall, serial_record, parallel_wall, parallel_record
+
+    serial_wall, serial_record, parallel_wall, parallel_record = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+
+    # Determinism: worker count must not change a single bit of the table.
+    assert compare_records(serial_record, parallel_record, rel_tolerance=0) == []
+
+    rows = [
+        ["serial (workers=1)", round(serial_wall, 3)],
+        [f"parallel (workers={WORKERS})", round(parallel_wall, 3)],
+        ["speedup", round(serial_wall / max(parallel_wall, 1e-9), 2)],
+    ]
+    record_table(
+        "BENCH-parallel-speedup",
+        ["configuration", "value"],
+        rows,
+        notes=(
+            f"{EXPERIMENT} sweep, ns={KWARGS['ns']}, {len(list(SEEDS))} seeds. "
+            "Criterion: tables identical at zero tolerance; wall-clock informative."
+        ),
+    )
+
+    entry = {
+        "date": datetime.date.today().isoformat(),
+        "experiment": EXPERIMENT,
+        "ns": list(KWARGS["ns"]),
+        "seeds": len(list(SEEDS)),
+        "workers": WORKERS,
+        "serial_s": round(serial_wall, 3),
+        "parallel_s": round(parallel_wall, 3),
+        "speedup": round(serial_wall / max(parallel_wall, 1e-9), 2),
+    }
+    entries = []
+    if BENCH_PATH.exists():
+        try:
+            entries = json.loads(BENCH_PATH.read_text()).get("entries", [])
+        except (ValueError, AttributeError):
+            entries = []
+    entries.append(entry)
+    BENCH_PATH.write_text(json.dumps({"entries": entries}, indent=1) + "\n")

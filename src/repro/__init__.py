@@ -58,6 +58,7 @@ from repro.sim import (
     Simulator,
     TimedScheduler,
 )
+from repro.parallel import Job, ParallelExecutor, ResultCache, sweep_jobs
 from repro.unionfind import DisjointSet, QuickFind, ackermann, alpha
 from repro.verification import (
     InvariantViolation,
@@ -123,4 +124,9 @@ __all__ = [
     "verify_discovery",
     "check_all_lemmas",
     "InvariantViolation",
+    # parallel execution
+    "Job",
+    "ParallelExecutor",
+    "ResultCache",
+    "sweep_jobs",
 ]

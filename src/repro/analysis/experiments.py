@@ -53,6 +53,8 @@ Table = Tuple[List[str], Rows]
 
 __all__ = [
     "GRAPH_FAMILIES",
+    "SWEEPABLE_EXPERIMENTS",
+    "QUICK_SWEEP_KWARGS",
     "build_family",
     "exp_generic_scaling",
     "exp_near_linear_scaling",
@@ -565,3 +567,44 @@ def exp_kp_bit_improvement(
             ]
         )
     return headers, rows
+
+
+# ----------------------------------------------------------------------
+# Sweep registry: the seed-taking runners, addressable by name
+# ----------------------------------------------------------------------
+#: Experiments that accept a ``seed`` kwarg, keyed by the short names the
+#: job system (`repro.parallel`) and ``python -m repro sweep`` use.  Every
+#: value is a module-level function so job specs stay picklable.
+SWEEPABLE_EXPERIMENTS: Dict[str, Callable[..., Table]] = {
+    "generic-scaling": exp_generic_scaling,
+    "near-linear": exp_near_linear_scaling,
+    "bit-complexity": exp_bit_complexity,
+    "message-lemmas": exp_message_lemmas,
+    "unionfind-reduction": exp_unionfind_reduction,
+    "dynamic-additions": exp_dynamic_additions,
+    "baseline-comparison": exp_baseline_comparison,
+    "adhoc-probes": exp_adhoc_probes,
+    "strongly-connected": exp_strongly_connected,
+    "sequential-unionfind": exp_sequential_unionfind,
+    "time-complexity": exp_time_complexity,
+    "hbl-algorithms": exp_hbl_algorithms,
+    "kp-bit-improvement": exp_kp_bit_improvement,
+}
+
+#: Reduced-size kwargs per sweepable experiment (the ``--quick`` sizes of
+#: the CLI, mirroring the quick lambdas of ``repro.cli.EXPERIMENTS``).
+QUICK_SWEEP_KWARGS: Dict[str, Dict[str, Any]] = {
+    "generic-scaling": {"ns": (32, 64)},
+    "near-linear": {"ns": (32, 64)},
+    "bit-complexity": {"ns": (32, 64)},
+    "message-lemmas": {"ns": (32,)},
+    "unionfind-reduction": {"ns": (16, 32)},
+    "dynamic-additions": {"n_initial": 32, "n_new": 8, "links_new": 8},
+    "baseline-comparison": {"n": 64},
+    "adhoc-probes": {"n": 64, "probes": 64},
+    "strongly-connected": {"ns": (32, 64)},
+    "sequential-unionfind": {"ns": (64, 256)},
+    "time-complexity": {"ns": (32, 64)},
+    "hbl-algorithms": {"ns": (16, 32)},
+    "kp-bit-improvement": {"ns": (64, 128)},
+}

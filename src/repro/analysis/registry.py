@@ -112,7 +112,9 @@ def compare_records(
         for col_index, (old, new) in enumerate(zip(old_row, new_row)):
             column = golden.headers[col_index]
             if isinstance(old, bool) or isinstance(new, bool):
-                if old != new:
+                # A bool-vs-int flip (True -> 1) means the producer changed
+                # its cell type even though the values compare equal.
+                if old != new or isinstance(old, bool) != isinstance(new, bool):
                     drifts.append(
                         f"row {row_index} [{column}]: {old!r} -> {new!r}"
                     )

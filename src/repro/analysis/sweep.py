@@ -16,9 +16,11 @@ Example::
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Sequence, Tuple
+from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 Table = Tuple[List[str], List[List[Any]]]
+#: Hook signature: (experiment, seeds) -> one table per seed, seed order.
+MapFn = Callable[[Callable[[int], Table], Sequence[int]], Sequence[Table]]
 
 __all__ = ["sweep_seeds", "aggregate_tables"]
 
@@ -73,8 +75,24 @@ def aggregate_tables(tables: Sequence[Table]) -> Table:
 def sweep_seeds(
     experiment: Callable[[int], Table],
     seeds: Sequence[int],
+    map_fn: Optional[MapFn] = None,
 ) -> Table:
-    """Run ``experiment(seed)`` for every seed and aggregate the tables."""
+    """Run ``experiment(seed)`` for every seed and aggregate the tables.
+
+    ``map_fn`` replaces the serial per-seed loop with an alternative
+    execution strategy -- notably
+    :meth:`repro.parallel.ParallelExecutor.map_seeds`, which fans the
+    seeds out over a process pool.  It must return exactly one table per
+    seed, in seed order, so aggregation stays deterministic.
+    """
     if not seeds:
         raise ValueError("need at least one seed")
-    return aggregate_tables([experiment(seed) for seed in seeds])
+    if map_fn is None:
+        tables: Sequence[Table] = [experiment(seed) for seed in seeds]
+    else:
+        tables = list(map_fn(experiment, seeds))
+        if len(tables) != len(seeds):
+            raise ValueError(
+                f"map_fn returned {len(tables)} tables for {len(seeds)} seeds"
+            )
+    return aggregate_tables(tables)

@@ -9,6 +9,8 @@ Commands
 ``compare``       the Section 1.1 baseline comparison table
 ``lower-bound``   the Theorem 1 adversary on T(height)
 ``families``      list the available graph families
+``sweep``         multi-seed sweep of one experiment through the
+                  ``repro.parallel`` engine (worker pool + result cache)
 
 Everything the CLI prints comes from the same experiment runners the
 benchmarks use, so numbers match ``benchmarks/results/``.
@@ -22,6 +24,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.experiments import (
     GRAPH_FAMILIES,
+    QUICK_SWEEP_KWARGS,
+    SWEEPABLE_EXPERIMENTS,
     build_family,
     exp_adhoc_probes,
     exp_baseline_comparison,
@@ -181,7 +185,58 @@ def _build_parser() -> argparse.ArgumentParser:
     rep_p.add_argument("--out", help="write to this file instead of stdout")
     rep_p.add_argument("--quick", action="store_true", help="reduced sizes")
     rep_p.add_argument("names", nargs="*", metavar="EXP", help="subset of sections")
+
+    sweep_p = sub.add_parser(
+        "sweep", help="multi-seed sweep via the parallel execution engine"
+    )
+    sweep_p.add_argument(
+        "--exp",
+        required=True,
+        choices=sorted(SWEEPABLE_EXPERIMENTS),
+        help="experiment to sweep (a seed-taking runner)",
+    )
+    sweep_p.add_argument(
+        "--seeds",
+        default="0:8",
+        help="half-open range 'a:b' or comma list '0,3,7' (default: 0:8)",
+    )
+    sweep_p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process-pool size; 1 = serial in-process (default)",
+    )
+    sweep_p.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-job timeout in seconds (parallel mode only)",
+    )
+    sweep_p.add_argument("--quick", action="store_true", help="reduced sizes")
+    sweep_p.add_argument(
+        "--no-cache", action="store_true", help="always re-execute, never store"
+    )
+    sweep_p.add_argument(
+        "--cache-dir",
+        default=None,
+        help="result cache directory (default: benchmarks/results/cache)",
+    )
+    sweep_p.add_argument(
+        "--no-progress", action="store_true", help="suppress per-job stderr lines"
+    )
     return parser
+
+
+def _parse_seeds(spec: str) -> List[int]:
+    """``'a:b'`` (half-open, like range) or ``'s1,s2,...'`` or one seed."""
+    spec = spec.strip()
+    if ":" in spec:
+        lo_text, _, hi_text = spec.partition(":")
+        lo, hi = int(lo_text or 0), int(hi_text)
+        if hi <= lo:
+            raise ValueError(f"empty seed range {spec!r}")
+        return list(range(lo, hi))
+    return [int(part) for part in spec.split(",") if part.strip()]
 
 
 def _make_scheduler(name: str, seed: int):
@@ -321,6 +376,58 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.analysis.sweep import aggregate_tables
+    from repro.parallel import (
+        DEFAULT_CACHE_DIR,
+        JobFailure,
+        ParallelExecutor,
+        ProgressReporter,
+        ResultCache,
+        sweep_jobs,
+    )
+
+    try:
+        seeds = _parse_seeds(args.seeds)
+    except ValueError as exc:
+        print(f"bad --seeds: {exc}", file=sys.stderr)
+        return 2
+    if not seeds:
+        print("bad --seeds: no seeds given", file=sys.stderr)
+        return 2
+    if args.workers < 1:
+        print(f"bad --workers: must be >= 1, got {args.workers}", file=sys.stderr)
+        return 2
+
+    kwargs = QUICK_SWEEP_KWARGS.get(args.exp, {}) if args.quick else {}
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(args.cache_dir or DEFAULT_CACHE_DIR)
+    executor = ParallelExecutor(
+        workers=args.workers,
+        timeout=args.timeout,
+        cache=cache,
+        progress=ProgressReporter(enabled=not args.no_progress),
+    )
+    results = executor.run(sweep_jobs(args.exp, seeds, kwargs))
+    failures = [r for r in results if not r.ok]
+    if failures:
+        for failure in failures:
+            print(
+                f"FAILED {failure.job.label()}: {failure.status} ({failure.error})",
+                file=sys.stderr,
+            )
+        return 1
+    try:
+        headers, rows = aggregate_tables([r.table for r in results])
+    except (ValueError, JobFailure) as exc:
+        print(f"aggregation failed: {exc}", file=sys.stderr)
+        return 1
+    print(f"=== {args.exp} x {len(seeds)} seeds ===")
+    print(render_table(headers, rows))
+    return 0
+
+
 def _cmd_families(_args: argparse.Namespace) -> int:
     for name in sorted(GRAPH_FAMILIES):
         example = build_family(name, 64, seed=0)
@@ -338,6 +445,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "families": _cmd_families,
         "profile": _cmd_profile,
         "report": _cmd_report,
+        "sweep": _cmd_sweep,
     }[args.command]
     return handler(args)
 

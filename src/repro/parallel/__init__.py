@@ -1,0 +1,47 @@
+"""Sharded multi-process experiment execution with result caching.
+
+The scaling experiments are embarrassingly parallel across seeds and
+configurations; this package turns them into :class:`~repro.parallel.jobs.Job`
+specs and fans them out over a forked worker pool while keeping the output
+bitwise identical to a serial run.  See DESIGN.md section 8.
+
+Typical use::
+
+    from repro.parallel import ParallelExecutor, ResultCache
+
+    executor = ParallelExecutor(workers=8, cache=ResultCache())
+    headers, rows = executor.sweep("near-linear", seeds=range(16))
+
+or, through the CLI::
+
+    python -m repro sweep --exp near-linear --seeds 0:16 --workers 8
+"""
+
+from .cache import DEFAULT_CACHE_DIR, CacheStats, ResultCache
+from .executor import JobFailure, JobResult, ParallelExecutor
+from .jobs import (
+    CACHE_SCHEMA_VERSION,
+    Job,
+    experiment_name,
+    resolve_experiment,
+    shard_seeds,
+    sweep_jobs,
+)
+from .progress import NullProgress, ProgressReporter
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "CacheStats",
+    "DEFAULT_CACHE_DIR",
+    "Job",
+    "JobFailure",
+    "JobResult",
+    "NullProgress",
+    "ParallelExecutor",
+    "ProgressReporter",
+    "ResultCache",
+    "experiment_name",
+    "resolve_experiment",
+    "shard_seeds",
+    "sweep_jobs",
+]

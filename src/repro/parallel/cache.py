@@ -1,0 +1,93 @@
+"""Content-addressed result cache for experiment jobs.
+
+Each completed job is persisted as an :class:`ExperimentRecord` JSON file
+named by the job's content hash (``<key>.json``) under
+``benchmarks/results/cache/`` by default.  A re-run of the same sweep --
+or a partial sweep that shares jobs with an earlier one -- loads the
+stored tables instead of re-executing, which turns the expensive scale
+experiments into incremental work.
+
+Only successful jobs are stored; failures and timeouts always re-execute.
+On load, the stored job spec is compared against the requesting job's
+spec, so a truncated file, a hash collision, or a schema bump
+(:data:`~repro.parallel.jobs.CACHE_SCHEMA_VERSION`) degrades to a miss,
+never to a wrong table.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.analysis.registry import ExperimentRecord
+
+from .jobs import Job
+
+PathLike = Union[str, pathlib.Path]
+
+__all__ = ["CacheStats", "ResultCache", "DEFAULT_CACHE_DIR"]
+
+#: Relative to the repository root (the CLI's working directory).
+DEFAULT_CACHE_DIR = pathlib.Path("benchmarks") / "results" / "cache"
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    def summary(self) -> str:
+        return f"cache: {self.hits} hits, {self.misses} misses, {self.stores} stores"
+
+
+@dataclass
+class ResultCache:
+    """Directory-backed map from :meth:`Job.key` to experiment records."""
+
+    directory: PathLike = DEFAULT_CACHE_DIR
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        self.directory = pathlib.Path(self.directory)
+
+    def path_for(self, job: Job) -> pathlib.Path:
+        return pathlib.Path(self.directory) / f"{job.key()}.json"
+
+    def get(self, job: Job) -> Optional[ExperimentRecord]:
+        """The stored record for ``job``, or ``None`` on any miss."""
+        path = self.path_for(job)
+        try:
+            record = ExperimentRecord.from_json(path.read_text())
+        except (OSError, ValueError):
+            self.stats.misses += 1
+            return None
+        if record.metadata.get("job") != job.spec():
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return record
+
+    def put(self, job: Job, record: ExperimentRecord) -> pathlib.Path:
+        """Persist ``record`` under the job's content address."""
+        directory = pathlib.Path(self.directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(job)
+        # Write-then-rename so a crashed run never leaves a torn file that
+        # would be read back as a record.
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(record.to_json())
+        tmp.replace(path)
+        self.stats.stores += 1
+        return path
+
+    def clear(self) -> int:
+        """Delete every cached record; returns the number removed."""
+        directory = pathlib.Path(self.directory)
+        removed = 0
+        if directory.is_dir():
+            for path in directory.glob("*.json"):
+                path.unlink()
+                removed += 1
+        return removed

@@ -1,0 +1,275 @@
+"""Sharded multi-process execution of experiment jobs.
+
+:class:`ParallelExecutor` fans :class:`~repro.parallel.jobs.Job` specs out
+over a ``concurrent.futures.ProcessPoolExecutor`` (forked workers), with
+
+* a **serial fallback** for ``workers=1`` and for platforms without
+  ``fork`` -- the exact same code path minus the pool, so behaviour never
+  depends on the backend;
+* **crash isolation**: worker-side exceptions are caught and returned as
+  failed :class:`JobResult`\\ s, and a broken pool (a worker killed by a
+  segfault or the OOM killer) degrades to in-process execution of the
+  remaining jobs instead of aborting the sweep;
+* a **per-job timeout** that marks the job failed and reclaims the worker
+  rather than hanging the sweep on one diverging simulation;
+* **determinism**: jobs are submitted in deterministic shard-interleaved
+  order (:func:`~repro.parallel.jobs.shard_seeds`) and results are
+  collected back into submission order, so the aggregated tables are
+  bitwise identical for any worker count and any completion order;
+* transparent **result caching** when a
+  :class:`~repro.parallel.cache.ResultCache` is attached.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any, Iterator, List, Optional, Sequence, Tuple
+
+from repro.analysis.registry import ExperimentRecord
+
+from .cache import ResultCache
+from .jobs import Job, experiment_name, resolve_experiment, shard_seeds, sweep_jobs
+from .progress import NullProgress
+
+Table = Tuple[List[str], List[List[Any]]]
+
+__all__ = ["JobResult", "JobFailure", "ParallelExecutor"]
+
+#: JobResult.status values.
+DONE, FAILED, TIMEOUT, CACHED = "done", "failed", "timeout", "cached"
+
+
+class JobFailure(RuntimeError):
+    """Raised by the strict APIs when any job failed or timed out."""
+
+
+@dataclass
+class JobResult:
+    """Outcome of one job: a table, or an error string."""
+
+    job: Job
+    status: str
+    headers: Optional[List[str]] = None
+    rows: Optional[List[List[Any]]] = None
+    wall: Optional[float] = None
+    error: Optional[str] = None
+    messages: Optional[int] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status in (DONE, CACHED)
+
+    @property
+    def table(self) -> Table:
+        if not self.ok:
+            raise JobFailure(f"{self.job.label()}: {self.status} ({self.error})")
+        return list(self.headers or []), [list(row) for row in self.rows or []]
+
+    def to_record(self) -> ExperimentRecord:
+        headers, rows = self.table
+        return ExperimentRecord(
+            name=self.job.label(),
+            headers=headers,
+            rows=rows,
+            metadata={
+                "job": self.job.spec(),
+                "wall_s": self.wall,
+                "messages": self.messages,
+            },
+        )
+
+    @classmethod
+    def from_record(cls, job: Job, record: ExperimentRecord) -> "JobResult":
+        return cls(
+            job=job,
+            status=CACHED,
+            headers=record.headers,
+            rows=record.rows,
+            wall=record.metadata.get("wall_s"),
+            messages=record.metadata.get("messages"),
+        )
+
+
+def _extract_messages(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> Optional[int]:
+    """Total of a ``messages`` column, if the table has one (for progress)."""
+    try:
+        col = list(headers).index("messages")
+    except ValueError:
+        return None
+    total = 0
+    for row in rows:
+        cell = row[col]
+        if isinstance(cell, (int, float)) and not isinstance(cell, bool):
+            total += int(cell)
+    return total
+
+
+def _safe_execute(job: Job) -> JobResult:
+    """Run one job, converting any exception into a failed result.
+
+    Module-level so it pickles into pool workers; also the serial path.
+    """
+    start = time.perf_counter()
+    try:
+        fn = resolve_experiment(job.experiment)
+        kwargs = job.kwargs_dict()
+        if job.seed is not None:
+            kwargs["seed"] = job.seed
+        headers, rows = fn(**kwargs)
+        headers = list(headers)
+        rows = [list(row) for row in rows]
+    except Exception as exc:  # crash isolation: one bad job != dead sweep
+        return JobResult(
+            job=job,
+            status=FAILED,
+            wall=time.perf_counter() - start,
+            error=f"{type(exc).__name__}: {exc}",
+        )
+    return JobResult(
+        job=job,
+        status=DONE,
+        headers=headers,
+        rows=rows,
+        wall=time.perf_counter() - start,
+        messages=_extract_messages(headers, rows),
+    )
+
+
+def _fork_available() -> bool:
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+@dataclass
+class ParallelExecutor:
+    """Deterministic fan-out of experiment jobs over a process pool.
+
+    ``workers=1`` (the default) runs serially in-process; higher counts
+    fork a pool.  ``timeout`` bounds the wait for each job's result in
+    seconds.  ``executed`` counts jobs actually run (cache hits excluded)
+    over the executor's lifetime.
+    """
+
+    workers: int = 1
+    timeout: Optional[float] = None
+    cache: Optional[ResultCache] = None
+    progress: Any = field(default_factory=NullProgress)
+    executed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+
+    # ------------------------------------------------------------------
+    # core
+    # ------------------------------------------------------------------
+    def run(self, jobs: Sequence[Job]) -> List[JobResult]:
+        """Execute ``jobs``; results align index-for-index with the input."""
+        jobs = list(jobs)
+        results: List[Optional[JobResult]] = [None] * len(jobs)
+        self.progress.begin(len(jobs))
+        done = 0
+
+        pending: List[int] = []
+        for index, job in enumerate(jobs):
+            record = self.cache.get(job) if self.cache is not None else None
+            if record is not None:
+                results[index] = JobResult.from_record(job, record)
+                done += 1
+                self.progress.report(results[index], done, len(jobs))
+            else:
+                pending.append(index)
+
+        if pending:
+            parallel = self.workers > 1 and _fork_available()
+            runner = self._run_pool if parallel else self._run_serial
+            for index, result in runner(jobs, pending):
+                results[index] = result
+                self.executed += 1
+                if result.status == DONE and self.cache is not None:
+                    self.cache.put(result.job, result.to_record())
+                done += 1
+                self.progress.report(result, done, len(jobs))
+
+        summary = self.cache.stats.summary() if self.cache is not None else ""
+        self.progress.end(summary)
+        return [result for result in results if result is not None]
+
+    def _run_serial(
+        self, jobs: Sequence[Job], pending: Sequence[int]
+    ) -> Iterator[Tuple[int, JobResult]]:
+        for index in pending:
+            yield index, _safe_execute(jobs[index])
+
+    def _run_pool(
+        self, jobs: Sequence[Job], pending: Sequence[int]
+    ) -> Iterator[Tuple[int, JobResult]]:
+        # Deterministic shard-interleaved submission: shard i takes every
+        # workers-th pending job, so long jobs spread across the pool, and
+        # the order is a pure function of (pending, workers).
+        order = [index for shard in shard_seeds(pending, self.workers) for index in shard]
+        pool = ProcessPoolExecutor(
+            max_workers=self.workers, mp_context=multiprocessing.get_context("fork")
+        )
+        timed_out = False
+        try:
+            futures = {index: pool.submit(_safe_execute, jobs[index]) for index in order}
+            broken = False
+            for index in order:
+                job = jobs[index]
+                if broken:
+                    # Pool died mid-sweep; finish the rest in-process.
+                    yield index, _safe_execute(job)
+                    continue
+                try:
+                    yield index, futures[index].result(timeout=self.timeout)
+                except FuturesTimeoutError:
+                    timed_out = True
+                    futures[index].cancel()
+                    yield index, JobResult(
+                        job=job,
+                        status=TIMEOUT,
+                        wall=self.timeout,
+                        error=f"no result after {self.timeout:g}s",
+                    )
+                except BrokenProcessPool:
+                    broken = True
+                    yield index, _safe_execute(job)
+        finally:
+            if timed_out:
+                # Don't block on workers still grinding the timed-out job.
+                pool.shutdown(wait=False, cancel_futures=True)
+                try:
+                    for process in list(getattr(pool, "_processes", {}).values()):
+                        process.terminate()
+                except Exception:
+                    pass
+            else:
+                pool.shutdown(wait=True)
+
+    # ------------------------------------------------------------------
+    # conveniences
+    # ------------------------------------------------------------------
+    def map_seeds(self, experiment: Any, seeds: Sequence[int], **kwargs: Any) -> List[Table]:
+        """Tables for ``experiment`` across ``seeds``, in seed order.
+
+        Signature-compatible with :func:`repro.analysis.sweep.sweep_seeds`'s
+        ``map_fn`` hook; raises :class:`JobFailure` if any job failed.
+        """
+        name = experiment_name(experiment)
+        results = self.run(sweep_jobs(name, seeds, kwargs))
+        failures = [r for r in results if not r.ok]
+        if failures:
+            detail = "; ".join(f"{r.job.label()}: {r.status} ({r.error})" for r in failures)
+            raise JobFailure(f"{len(failures)} job(s) failed: {detail}")
+        return [r.table for r in results]
+
+    def sweep(self, experiment: Any, seeds: Sequence[int], **kwargs: Any) -> Table:
+        """Run and aggregate a whole seed sweep (one call, one table)."""
+        from repro.analysis.sweep import aggregate_tables
+
+        return aggregate_tables(self.map_seeds(experiment, seeds, **kwargs))

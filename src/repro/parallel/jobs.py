@@ -1,0 +1,163 @@
+"""Picklable job specs and deterministic seed sharding.
+
+A :class:`Job` names an experiment (either a key of
+:data:`repro.analysis.experiments.SWEEPABLE_EXPERIMENTS` or an importable
+``module:qualname`` path), a frozen kwargs tuple, and an optional seed.
+Because the spec is pure data, jobs cross process boundaries cheaply and
+hash to a stable content address -- the cache key of
+:mod:`repro.parallel.cache`.
+
+Determinism contract: jobs are *identified* by their spec, never by the
+worker that ran them or the order they finished in, so an executor that
+collects results back into submission order produces bitwise-identical
+sweeps for any worker count.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib
+import json
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "Job",
+    "experiment_name",
+    "resolve_experiment",
+    "sweep_jobs",
+    "shard_seeds",
+]
+
+#: Bumped whenever the record layout or the job spec changes shape, so a
+#: stale on-disk cache can never be mistaken for a fresh result.
+CACHE_SCHEMA_VERSION = 1
+
+
+def _registry() -> Dict[str, Callable]:
+    # Imported lazily: analysis.experiments pulls in the whole algorithm
+    # stack, which worker processes fork before first use.
+    from repro.analysis.experiments import SWEEPABLE_EXPERIMENTS
+
+    return SWEEPABLE_EXPERIMENTS
+
+
+def experiment_name(experiment: Any) -> str:
+    """Canonical string name for a registry key or module-level callable.
+
+    Lambdas and closures are rejected: a job must be reconstructible from
+    its spec alone in a fresh process.
+    """
+    if isinstance(experiment, str):
+        if experiment in _registry() or ":" in experiment:
+            return experiment
+        known = ", ".join(sorted(_registry()))
+        raise ValueError(f"unknown experiment {experiment!r}; choose from {known}")
+    if callable(experiment):
+        for name, fn in _registry().items():
+            if fn is experiment:
+                return name
+        qualname = getattr(experiment, "__qualname__", "")
+        module = getattr(experiment, "__module__", "")
+        if not module or not qualname or "<" in qualname:
+            raise ValueError(
+                f"{experiment!r} is not importable by name (lambda/closure?); "
+                "register it in SWEEPABLE_EXPERIMENTS or use a module-level "
+                "function"
+            )
+        return f"{module}:{qualname}"
+    raise TypeError(f"experiment must be a name or callable, got {type(experiment)}")
+
+
+def resolve_experiment(name: str) -> Callable:
+    """Inverse of :func:`experiment_name`; runs in worker processes."""
+    registry = _registry()
+    if name in registry:
+        return registry[name]
+    if ":" in name:
+        module_name, _, qualname = name.partition(":")
+        obj: Any = importlib.import_module(module_name)
+        for part in qualname.split("."):
+            obj = getattr(obj, part)
+        if not callable(obj):
+            raise ValueError(f"{name!r} resolved to non-callable {obj!r}")
+        return obj
+    known = ", ".join(sorted(registry))
+    raise ValueError(f"unknown experiment {name!r}; choose from {known}")
+
+
+@dataclass(frozen=True)
+class Job:
+    """One experiment execution: registry name + kwargs + seed.
+
+    ``kwargs`` is stored as a sorted tuple of pairs so two jobs built from
+    differently-ordered dicts compare (and hash) equal.
+    """
+
+    experiment: str
+    kwargs: Tuple[Tuple[str, Any], ...] = ()
+    seed: Optional[int] = None
+
+    @classmethod
+    def create(
+        cls,
+        experiment: Any,
+        kwargs: Optional[Dict[str, Any]] = None,
+        seed: Optional[int] = None,
+    ) -> "Job":
+        return cls(
+            experiment=experiment_name(experiment),
+            kwargs=tuple(sorted((kwargs or {}).items())),
+            seed=seed,
+        )
+
+    def kwargs_dict(self) -> Dict[str, Any]:
+        return dict(self.kwargs)
+
+    def spec(self) -> Dict[str, Any]:
+        """The full content-addressed identity of this job.
+
+        Normalized through JSON (tuples become lists, ...) so a spec that
+        round-tripped through a cache file compares equal to a fresh one.
+        """
+        raw = {
+            "version": CACHE_SCHEMA_VERSION,
+            "experiment": self.experiment,
+            "kwargs": self.kwargs_dict(),
+            "seed": self.seed,
+        }
+        return json.loads(json.dumps(raw, sort_keys=True, default=repr))
+
+    def key(self) -> str:
+        """Stable hex digest of :meth:`spec` -- the cache filename."""
+        canonical = json.dumps(self.spec(), sort_keys=True)
+        return hashlib.sha256(canonical.encode()).hexdigest()[:24]
+
+    def label(self) -> str:
+        suffix = "" if self.seed is None else f" seed={self.seed}"
+        return f"{self.experiment}{suffix}"
+
+
+def sweep_jobs(
+    experiment: Any,
+    seeds: Sequence[int],
+    kwargs: Optional[Dict[str, Any]] = None,
+) -> List[Job]:
+    """One job per seed, in seed order (which is also result order)."""
+    name = experiment_name(experiment)
+    return [Job.create(name, kwargs, seed) for seed in seeds]
+
+
+def shard_seeds(seeds: Sequence[int], n_shards: int) -> List[List[int]]:
+    """Deterministic round-robin partition of ``seeds`` into ``n_shards``.
+
+    Shard ``i`` receives ``seeds[i::n_shards]``; empty shards are dropped.
+    The partition depends only on the input order and the shard count, so
+    schedulers that interleave submission across shards stay reproducible.
+    """
+    if n_shards <= 0:
+        raise ValueError(f"n_shards must be positive, got {n_shards}")
+    seeds = list(seeds)
+    shards = [seeds[i::n_shards] for i in range(n_shards)]
+    return [shard for shard in shards if shard]

@@ -1,0 +1,62 @@
+"""Streaming per-job status for sweeps, written to stderr.
+
+Kept away from stdout on purpose: the CLI prints the aggregated table on
+stdout, so ``python -m repro sweep ... > table.txt`` stays clean while the
+operator still sees jobs complete live.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import IO, Optional
+
+__all__ = ["ProgressReporter", "NullProgress"]
+
+
+class NullProgress:
+    """No-op reporter (the default for library use)."""
+
+    def begin(self, total: int) -> None:
+        pass
+
+    def report(self, result, done: int, total: int) -> None:
+        pass
+
+    def end(self, summary: str = "") -> None:
+        pass
+
+
+class ProgressReporter(NullProgress):
+    """One line per job: status, label, wall-clock, message count."""
+
+    def __init__(self, stream: Optional[IO[str]] = None, enabled: bool = True):
+        self.stream = stream if stream is not None else sys.stderr
+        self.enabled = enabled
+        self.started_at = 0.0
+
+    def _emit(self, line: str) -> None:
+        if self.enabled:
+            print(line, file=self.stream, flush=True)
+
+    def begin(self, total: int) -> None:
+        self.started_at = time.perf_counter()
+        self._emit(f"queued {total} job(s)")
+
+    def report(self, result, done: int, total: int) -> None:
+        width = len(str(total))
+        parts = [f"[{done:>{width}}/{total}]", f"{result.status:<7}", result.job.label()]
+        if result.wall is not None:
+            parts.append(f"{result.wall:.2f}s")
+        if result.messages is not None:
+            parts.append(f"{result.messages:,} msgs")
+        if result.error:
+            parts.append(result.error)
+        self._emit("  ".join(parts))
+
+    def end(self, summary: str = "") -> None:
+        elapsed = time.perf_counter() - self.started_at
+        line = f"sweep finished in {elapsed:.2f}s"
+        if summary:
+            line = f"{line}  ({summary})"
+        self._emit(line)

@@ -86,3 +86,66 @@ class TestChannelsFlag:
         out = capsys.readouterr().out
         assert "channel discipline: random" in out
         assert "verified" in out
+
+
+class TestSweep:
+    def test_sweep_serial_quick(self, capsys, tmp_path):
+        assert (
+            main(
+                [
+                    "sweep", "--exp", "strongly-connected", "--seeds", "0:3",
+                    "--quick", "--cache-dir", str(tmp_path), "--no-progress",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "=== strongly-connected x 3 seeds ===" in out
+        assert "messages/n" in out
+
+    def test_sweep_parallel_matches_serial(self, capsys, tmp_path):
+        argv = [
+            "sweep", "--exp", "strongly-connected", "--seeds", "0:3",
+            "--quick", "--no-cache", "--no-progress",
+        ]
+        assert main(argv + ["--workers", "1"]) == 0
+        serial_out = capsys.readouterr().out
+        assert main(argv + ["--workers", "2"]) == 0
+        parallel_out = capsys.readouterr().out
+        assert serial_out == parallel_out
+
+    def test_sweep_second_run_hits_cache(self, capsys, tmp_path):
+        argv = [
+            "sweep", "--exp", "strongly-connected", "--seeds", "0,2",
+            "--quick", "--cache-dir", str(tmp_path),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr()
+        assert "2 stores" in first.err
+        assert main(argv) == 0
+        second = capsys.readouterr()
+        assert "2 hits" in second.err
+        assert "cached" in second.err
+        assert first.out == second.out
+
+    def test_sweep_comma_seed_list(self, capsys, tmp_path):
+        assert (
+            main(
+                [
+                    "sweep", "--exp", "strongly-connected", "--seeds", "4,7",
+                    "--quick", "--no-cache", "--no-progress",
+                ]
+            )
+            == 0
+        )
+        assert "x 2 seeds" in capsys.readouterr().out
+
+    def test_sweep_bad_seed_spec(self, capsys):
+        assert main(["sweep", "--exp", "near-linear", "--seeds", "5:2"]) == 2
+        assert "bad --seeds" in capsys.readouterr().err
+        assert main(["sweep", "--exp", "near-linear", "--seeds", ","]) == 2
+        assert "no seeds" in capsys.readouterr().err
+
+    def test_sweep_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--exp", "nope", "--seeds", "0:2"])

@@ -1,0 +1,296 @@
+"""Tests for the sharded multi-process execution engine (repro.parallel).
+
+The acceptance-grade properties live here: worker-count invariance of the
+aggregated tables (checked with ``compare_records`` at zero tolerance)
+and full cache service of a repeated sweep.
+"""
+
+import io
+import time
+
+import pytest
+
+from repro.analysis.registry import ExperimentRecord, compare_records
+from repro.analysis.sweep import aggregate_tables, sweep_seeds
+from repro.parallel import (
+    Job,
+    JobFailure,
+    ParallelExecutor,
+    ProgressReporter,
+    ResultCache,
+    experiment_name,
+    resolve_experiment,
+    shard_seeds,
+    sweep_jobs,
+)
+
+# ----------------------------------------------------------------------
+# module-level toy experiments (importable by name from worker processes)
+# ----------------------------------------------------------------------
+
+
+def exp_toy(scale=1, seed=0):
+    return ["case", "n", "messages"], [["toy", scale, (seed + 1) * scale]]
+
+
+def exp_flaky(seed=0):
+    if seed == 1:
+        raise RuntimeError("boom")
+    return ["case", "messages"], [["ok", seed * 10]]
+
+
+def exp_sleepy(duration=3.0, seed=0):
+    time.sleep(duration)
+    return ["case", "messages"], [["slept", seed]]
+
+
+TOY = f"{__name__}:exp_toy"
+FLAKY = f"{__name__}:exp_flaky"
+SLEEPY = f"{__name__}:exp_sleepy"
+
+
+class TestJobSpec:
+    def test_kwargs_order_does_not_change_identity(self):
+        a = Job.create(TOY, {"scale": 2, "seed": 0})
+        b = Job.create(TOY, {"seed": 0, "scale": 2})
+        assert a == b
+        assert a.key() == b.key()
+
+    def test_key_distinguishes_seed_and_kwargs(self):
+        base = Job.create(TOY, {"scale": 2}, seed=0)
+        assert base.key() != Job.create(TOY, {"scale": 2}, seed=1).key()
+        assert base.key() != Job.create(TOY, {"scale": 3}, seed=0).key()
+        assert base.key() != Job.create("strongly-connected", {"scale": 2}, seed=0).key()
+
+    def test_spec_survives_json_roundtrip(self):
+        import json
+
+        job = Job.create(TOY, {"ns": (16, 32)}, seed=3)
+        assert json.loads(json.dumps(job.spec())) == job.spec()
+
+    def test_registry_callable_resolves_to_short_name(self):
+        from repro.analysis.experiments import exp_strongly_connected
+
+        assert experiment_name(exp_strongly_connected) == "strongly-connected"
+        assert resolve_experiment("strongly-connected") is exp_strongly_connected
+
+    def test_module_path_roundtrip(self):
+        assert experiment_name(exp_toy) == TOY
+        assert resolve_experiment(TOY) is exp_toy
+
+    def test_lambda_rejected(self):
+        with pytest.raises(ValueError, match="not importable"):
+            experiment_name(lambda seed: None)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown experiment"):
+            experiment_name("no-such-exp")
+        with pytest.raises(ValueError, match="unknown experiment"):
+            resolve_experiment("no-such-exp")
+
+    def test_sweep_jobs_in_seed_order(self):
+        jobs = sweep_jobs(TOY, [5, 1, 3], {"scale": 2})
+        assert [job.seed for job in jobs] == [5, 1, 3]
+        assert all(job.experiment == TOY for job in jobs)
+
+
+class TestSharding:
+    def test_round_robin_partition(self):
+        assert shard_seeds(range(7), 3) == [[0, 3, 6], [1, 4], [2, 5]]
+
+    def test_partition_is_exact_cover(self):
+        seeds = list(range(23))
+        shards = shard_seeds(seeds, 4)
+        flat = sorted(seed for shard in shards for seed in shard)
+        assert flat == seeds
+
+    def test_more_shards_than_seeds_drops_empties(self):
+        assert shard_seeds([7, 9], 5) == [[7], [9]]
+
+    def test_deterministic(self):
+        assert shard_seeds(range(100), 8) == shard_seeds(range(100), 8)
+
+    def test_invalid_shard_count(self):
+        with pytest.raises(ValueError):
+            shard_seeds(range(4), 0)
+
+
+class TestCache:
+    def test_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        job = Job.create(TOY, {"scale": 2}, seed=1)
+        assert cache.get(job) is None
+        record = ExperimentRecord(
+            job.label(), ["a"], [[1]], metadata={"job": job.spec()}
+        )
+        cache.put(job, record)
+        loaded = cache.get(job)
+        assert loaded is not None
+        assert loaded.rows == [[1]]
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.stores == 1
+
+    def test_spec_mismatch_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        job = Job.create(TOY, {"scale": 2}, seed=1)
+        record = ExperimentRecord(job.label(), ["a"], [[1]], metadata={"job": {}})
+        cache.put(job, record)
+        assert cache.get(job) is None
+
+    def test_corrupt_file_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        job = Job.create(TOY, {}, seed=0)
+        cache.path_for(job).parent.mkdir(parents=True, exist_ok=True)
+        cache.path_for(job).write_text("{not json")
+        assert cache.get(job) is None
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        job = Job.create(TOY, {}, seed=0)
+        cache.put(job, ExperimentRecord("x", ["a"], [[1]], {"job": job.spec()}))
+        assert cache.clear() == 1
+        assert cache.get(job) is None
+
+
+class TestSerialExecution:
+    def test_results_align_with_jobs(self):
+        executor = ParallelExecutor(workers=1)
+        jobs = sweep_jobs(TOY, [3, 0, 2], {"scale": 5})
+        results = executor.run(jobs)
+        assert [r.job.seed for r in results] == [3, 0, 2]
+        assert [r.table[1][0][2] for r in results] == [20, 5, 15]
+        assert all(r.status == "done" for r in results)
+        assert executor.executed == 3
+
+    def test_crash_isolation(self):
+        executor = ParallelExecutor(workers=1)
+        results = executor.run(sweep_jobs(FLAKY, range(4)))
+        statuses = [r.status for r in results]
+        assert statuses == ["done", "failed", "done", "done"]
+        assert "boom" in results[1].error
+        with pytest.raises(JobFailure):
+            results[1].table
+
+    def test_messages_extracted_for_progress(self):
+        executor = ParallelExecutor(workers=1)
+        (result,) = executor.run([Job.create(TOY, {"scale": 4}, seed=1)])
+        assert result.messages == 8
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(ValueError):
+            ParallelExecutor(workers=0)
+
+
+class TestParallelExecution:
+    def test_worker_count_invariance_and_cache_service(self, tmp_path):
+        """Acceptance: identical tables for 1/2/4 workers at zero
+        tolerance, and a repeat sweep served entirely from cache."""
+        kwargs = {"ns": (16, 32)}
+        records = {}
+        for workers in (1, 2, 4):
+            cache = ResultCache(tmp_path / f"w{workers}")
+            executor = ParallelExecutor(workers=workers, cache=cache)
+            headers, rows = executor.sweep(
+                "strongly-connected", range(4), **kwargs
+            )
+            records[workers] = ExperimentRecord("sweep", headers, rows)
+            assert executor.executed == 4
+            assert cache.stats.stores == 4
+        assert compare_records(records[1], records[2], rel_tolerance=0) == []
+        assert compare_records(records[1], records[4], rel_tolerance=0) == []
+
+        # Second run of the same sweep: zero executions, all cache hits,
+        # identical output -- even at a different worker count.
+        cache = ResultCache(tmp_path / "w2")
+        executor = ParallelExecutor(workers=4, cache=cache)
+        headers, rows = executor.sweep("strongly-connected", range(4), **kwargs)
+        assert executor.executed == 0
+        assert cache.stats.hits == 4
+        rerun = ExperimentRecord("sweep", headers, rows)
+        assert compare_records(records[2], rerun, rel_tolerance=0) == []
+
+    def test_parallel_crash_isolation(self):
+        executor = ParallelExecutor(workers=2)
+        results = executor.run(sweep_jobs(FLAKY, range(4)))
+        assert [r.status for r in results] == ["done", "failed", "done", "done"]
+
+    def test_per_job_timeout(self):
+        executor = ParallelExecutor(workers=2, timeout=0.3)
+        jobs = [
+            Job.create(SLEEPY, {"duration": 30.0}, seed=0),
+            Job.create(TOY, {"scale": 2}, seed=1),
+        ]
+        start = time.perf_counter()
+        results = executor.run(jobs)
+        assert time.perf_counter() - start < 10
+        assert results[0].status == "timeout"
+        assert results[1].status == "done"
+
+    def test_partial_cache_reuse(self, tmp_path):
+        """A wider sweep reuses the overlapping prefix of a narrower one."""
+        cache = ResultCache(tmp_path)
+        ParallelExecutor(workers=1, cache=cache).run(sweep_jobs(TOY, range(2)))
+        executor = ParallelExecutor(workers=1, cache=cache)
+        results = executor.run(sweep_jobs(TOY, range(4)))
+        assert executor.executed == 2
+        assert [r.status for r in results] == ["cached", "cached", "done", "done"]
+
+
+class TestSweepIntegration:
+    def test_map_fn_plugs_into_sweep_seeds(self):
+        from repro.analysis.experiments import exp_strongly_connected
+
+        serial = sweep_seeds(
+            lambda seed: exp_strongly_connected(ns=(16, 32), seed=seed),
+            seeds=range(3),
+        )
+        executor = ParallelExecutor(workers=2)
+        parallel = sweep_seeds(
+            exp_strongly_connected,
+            seeds=range(3),
+            map_fn=lambda experiment, seeds: executor.map_seeds(
+                experiment, seeds, ns=(16, 32)
+            ),
+        )
+        assert serial == parallel
+
+    def test_map_fn_result_count_checked(self):
+        with pytest.raises(ValueError, match="map_fn returned"):
+            sweep_seeds(
+                exp_toy, seeds=range(3), map_fn=lambda exp, seeds: []
+            )
+
+    def test_map_seeds_raises_on_failure(self):
+        executor = ParallelExecutor(workers=1)
+        with pytest.raises(JobFailure, match="boom"):
+            executor.map_seeds(FLAKY, range(3))
+
+    def test_executor_sweep_aggregates(self):
+        executor = ParallelExecutor(workers=1)
+        headers, rows = executor.sweep(TOY, range(3), scale=2)
+        assert headers == ["case", "n", "messages"]
+        # seeds 0..2 -> messages 2, 4, 6 -> mean 4 [2, 6]
+        assert rows == [["toy", 2, "4 [2, 6]"]]
+
+
+class TestProgress:
+    def test_stream_lines(self):
+        stream = io.StringIO()
+        executor = ParallelExecutor(
+            workers=1, progress=ProgressReporter(stream=stream)
+        )
+        executor.run(sweep_jobs(FLAKY, range(2)))
+        out = stream.getvalue()
+        assert "queued 2 job(s)" in out
+        assert "done" in out
+        assert "failed" in out and "boom" in out
+        assert "sweep finished" in out
+
+    def test_disabled_reporter_is_silent(self):
+        stream = io.StringIO()
+        executor = ParallelExecutor(
+            workers=1, progress=ProgressReporter(stream=stream, enabled=False)
+        )
+        executor.run([Job.create(TOY, {}, seed=0)])
+        assert stream.getvalue() == ""

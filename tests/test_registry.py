@@ -68,6 +68,73 @@ class TestCompare:
             compare_records(make_record(), make_record(), rel_tolerance=-1)
 
 
+class TestCompareEdgeCases:
+    """The drift detector guards parallel-vs-serial equivalence, so its
+    edge behaviour (mixed int/float cells, structural short-circuits,
+    exact tolerance boundaries) is pinned here."""
+
+    def test_int_vs_float_equal_values_no_drift(self):
+        golden = make_record([[10, 100, True], [20, 210, True]])
+        fresh = make_record([[10.0, 100.0, True], [20.0, 210.0, True]])
+        assert compare_records(golden, fresh, rel_tolerance=0) == []
+
+    def test_int_vs_float_differing_values_compared_numerically(self):
+        golden = make_record([[10, 100, True], [20, 210, True]])
+        fresh = make_record([[10, 100.4, True], [20, 210, True]])
+        assert compare_records(golden, fresh, rel_tolerance=0.25) == []
+        drifts = compare_records(golden, fresh, rel_tolerance=0)
+        assert len(drifts) == 1 and "100" in drifts[0]
+
+    def test_zero_tolerance_pins_exact_values(self):
+        golden = make_record([[10, 100, True], [20, 210, True]])
+        fresh = make_record([[10, 100.0001, True], [20, 210, True]])
+        assert len(compare_records(golden, fresh, rel_tolerance=0)) == 1
+
+    def test_drift_exactly_at_tolerance_not_reported(self):
+        # |100 - 125| / 125 = 0.2: the comparison is strict (> tolerance).
+        golden = make_record([[10, 100, True], [20, 210, True]])
+        fresh = make_record([[10, 125, True], [20, 210, True]])
+        assert compare_records(golden, fresh, rel_tolerance=0.2) == []
+        assert len(compare_records(golden, fresh, rel_tolerance=0.19)) == 1
+
+    def test_row_count_mismatch_short_circuits_cell_diffs(self):
+        golden = make_record()
+        fresh = make_record([[10, 99999, False]])
+        drifts = compare_records(golden, fresh)
+        assert drifts == ["row count changed: 2 -> 1"]
+
+    def test_header_mismatch_short_circuits_row_checks(self):
+        fresh = ExperimentRecord("EXP-X", ["n", "msgs", "ok"], [[1, 2, True]])
+        drifts = compare_records(make_record(), fresh)
+        assert len(drifts) == 1 and "headers changed" in drifts[0]
+
+    def test_ragged_row_reported_once_then_skipped(self):
+        golden = make_record()
+        fresh = ExperimentRecord(
+            "EXP-X", ["n", "messages", "ok"], [[10, 100], [20, 210, True]]
+        )
+        drifts = compare_records(golden, fresh)
+        assert drifts == ["row 0: cell count changed"]
+
+    def test_numeric_vs_string_cell_is_structural(self):
+        golden = make_record([[10, 100, True], [20, 210, True]])
+        fresh = make_record([[10, "100 [90, 110]", True], [20, 210, True]])
+        drifts = compare_records(golden, fresh, rel_tolerance=1e9)
+        assert len(drifts) == 1
+
+    def test_bool_vs_int_compared_as_identity_not_number(self):
+        # True == 1 numerically; the drift detector must still flag it.
+        golden = ExperimentRecord("E", ["ok"], [[True]])
+        fresh = ExperimentRecord("E", ["ok"], [[1]])
+        assert len(compare_records(golden, fresh)) == 1
+
+    def test_huge_tolerance_still_reports_sign_flips_within_it(self):
+        golden = ExperimentRecord("E", ["v"], [[-100]])
+        fresh = ExperimentRecord("E", ["v"], [[100]])
+        assert len(compare_records(golden, fresh, rel_tolerance=1.9)) == 1
+        assert compare_records(golden, fresh, rel_tolerance=2.1) == []
+
+
 class TestBenchmarkIntegration:
     def test_results_dir_contains_json_twins(self):
         """After a bench run, every .txt table has a .json record."""
