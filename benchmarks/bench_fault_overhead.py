@@ -1,0 +1,108 @@
+"""BENCH: the price of reliability -- retransmission overhead vs loss rate.
+
+Runs the Generic algorithm under the ack/retransmit transport while the
+fault layer drops an increasing fraction of messages, and records what the
+recovery costs: overhead messages/bits (``rt-retrans`` + ``rt-ack``) as a
+share of total traffic, retransmission counts, and the step-count price.
+Safety is asserted on every run (zero stepwise violations, properties on
+all survivors); the *cost curve* is recorded, not asserted -- it is the
+``BENCH_faults.json`` perf trajectory at the repository root.
+"""
+
+import datetime
+import json
+import pathlib
+import statistics
+
+from repro.faults import FaultPlan, run_chaos_trial
+
+BENCH_PATH = pathlib.Path(__file__).parents[1] / "BENCH_faults.json"
+
+LOSS_RATES = (0.0, 0.05, 0.10, 0.20, 0.30)
+N = 32
+FAMILY = "sparse-random"
+SEEDS = range(4)
+
+
+def test_fault_overhead(benchmark, record_table):
+    def run():
+        curve = []
+        for loss in LOSS_RATES:
+            trials = [
+                run_chaos_trial(
+                    FaultPlan(loss=loss),
+                    "generic",
+                    family=FAMILY,
+                    n=N,
+                    seed=seed,
+                    reliable=True,
+                )
+                for seed in SEEDS
+            ]
+            curve.append((loss, trials))
+        return curve
+
+    curve = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    entries = []
+    for loss, trials in curve:
+        # The hard criterion: reliability must actually deliver -- every
+        # seed quiesces with clean safety and full properties.
+        for trial in trials:
+            assert trial.safety_ok, (loss, trial.seed, trial.detail)
+            assert trial.outcome == "ok", (loss, trial.seed, trial.outcome, trial.detail)
+        mean = lambda xs: statistics.fmean(xs)  # noqa: E731
+        overhead_msgs = mean([t.overhead_messages for t in trials])
+        total_msgs = mean([t.total_messages for t in trials])
+        overhead_bits = mean([t.overhead_bits for t in trials])
+        total_bits = mean([t.total_bits for t in trials])
+        retrans = mean([t.retransmissions for t in trials])
+        steps = mean([t.steps for t in trials])
+        rows.append(
+            [
+                f"{loss:.0%}",
+                round(total_msgs, 1),
+                round(overhead_msgs, 1),
+                f"{overhead_msgs / total_msgs:.1%}",
+                f"{overhead_bits / total_bits:.1%}",
+                round(retrans, 1),
+                round(steps, 1),
+            ]
+        )
+        entries.append(
+            {
+                "date": datetime.date.today().isoformat(),
+                "n": N,
+                "family": FAMILY,
+                "seeds": len(list(SEEDS)),
+                "loss": loss,
+                "messages": round(total_msgs, 1),
+                "overhead_messages": round(overhead_msgs, 1),
+                "overhead_msg_share": round(overhead_msgs / total_msgs, 4),
+                "overhead_bit_share": round(overhead_bits / total_bits, 4),
+                "retransmissions": round(retrans, 1),
+                "steps": round(steps, 1),
+            }
+        )
+
+    record_table(
+        "BENCH-fault-overhead",
+        ["loss", "messages", "overhead msgs", "msg share", "bit share", "retrans", "steps"],
+        rows,
+        notes=(
+            f"Generic + reliable transport, {FAMILY} n={N}, "
+            f"{len(list(SEEDS))} seeds per loss rate. Criterion: every run "
+            "quiesces with clean safety and full properties; the overhead "
+            "curve is recorded, not asserted."
+        ),
+    )
+
+    existing = []
+    if BENCH_PATH.exists():
+        try:
+            existing = json.loads(BENCH_PATH.read_text()).get("entries", [])
+        except (ValueError, AttributeError):
+            existing = []
+    existing.extend(entries)
+    BENCH_PATH.write_text(json.dumps({"entries": existing}, indent=1) + "\n")

@@ -64,6 +64,7 @@ __all__ = [
     "exp_unionfind_reduction",
     "exp_dynamic_additions",
     "exp_baseline_comparison",
+    "exp_chaos",
     "exp_adhoc_probes",
     "exp_strongly_connected",
     "exp_sequential_unionfind",
@@ -570,6 +571,23 @@ def exp_kp_bit_improvement(
 
 
 # ----------------------------------------------------------------------
+# EXP-chaos: degradation under fault injection (DESIGN.md section 9)
+# ----------------------------------------------------------------------
+def exp_chaos(*args: Any, **kwargs: Any) -> Table:
+    """Degradation table over fault scenarios; see
+    :func:`repro.faults.harness.exp_chaos` for the real implementation.
+
+    This thin module-level wrapper exists so the chaos sweep is
+    addressable through the job registry by a picklable name without a
+    circular import (``repro.faults.harness`` builds on this module's
+    graph families).
+    """
+    from repro.faults.harness import exp_chaos as _exp_chaos
+
+    return _exp_chaos(*args, **kwargs)
+
+
+# ----------------------------------------------------------------------
 # Sweep registry: the seed-taking runners, addressable by name
 # ----------------------------------------------------------------------
 #: Experiments that accept a ``seed`` kwarg, keyed by the short names the
@@ -589,6 +607,7 @@ SWEEPABLE_EXPERIMENTS: Dict[str, Callable[..., Table]] = {
     "time-complexity": exp_time_complexity,
     "hbl-algorithms": exp_hbl_algorithms,
     "kp-bit-improvement": exp_kp_bit_improvement,
+    "chaos": exp_chaos,
 }
 
 #: Reduced-size kwargs per sweepable experiment (the ``--quick`` sizes of
@@ -607,4 +626,5 @@ QUICK_SWEEP_KWARGS: Dict[str, Dict[str, Any]] = {
     "time-complexity": {"ns": (32, 64)},
     "hbl-algorithms": {"ns": (16, 32)},
     "kp-bit-improvement": {"ns": (64, 128)},
+    "chaos": {"scenarios": ("baseline", "loss-10", "crash-2"), "n": 24},
 }

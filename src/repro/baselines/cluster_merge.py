@@ -255,9 +255,10 @@ def run_cluster_merge(
     name: str,
     *,
     max_rounds: int = 100_000,
+    faults=None,
 ) -> BaselineResult:
     """Drive a cluster-merge baseline to silence and collect the outcome."""
-    sim = SyncSimulator(id_bits=id_bits_for(graph.n))
+    sim = SyncSimulator(id_bits=id_bits_for(graph.n), faults=faults)
     nodes: Dict[NodeId, ClusterMergeNode] = {}
     for node_id in graph.nodes:
         node = node_factory(node_id, graph.successors(node_id))

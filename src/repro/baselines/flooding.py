@@ -48,9 +48,11 @@ class FloodingNode(SyncNode):
         ]
 
 
-def run_flooding(graph: KnowledgeGraph, *, max_rounds: int = 10_000) -> BaselineResult:
+def run_flooding(
+    graph: KnowledgeGraph, *, max_rounds: int = 10_000, faults=None
+) -> BaselineResult:
     """Run flooding to silence and report the discovery outcome."""
-    sim = SyncSimulator(id_bits=id_bits_for(graph.n))
+    sim = SyncSimulator(id_bits=id_bits_for(graph.n), faults=faults)
     nodes: Dict[NodeId, FloodingNode] = {}
     for node_id in graph.nodes:
         node = FloodingNode(node_id, graph.successors(node_id))

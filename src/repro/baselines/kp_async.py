@@ -202,13 +202,14 @@ def run_kp_async(
     *,
     seed: Optional[int] = None,
     max_steps: Optional[int] = None,
+    faults=None,
 ) -> BaselineResult:
     """Run the KP-style asynchronous baseline to quiescence."""
     from repro.core.runner import default_step_budget
     from repro.sim.scheduler import GlobalFifoScheduler, RandomScheduler
 
     scheduler = RandomScheduler(seed) if seed is not None else GlobalFifoScheduler()
-    sim = Simulator(scheduler, id_bits=id_bits_for(graph.n))
+    sim = Simulator(scheduler, id_bits=id_bits_for(graph.n), faults=faults)
     nodes: Dict[NodeId, KPAsyncNode] = {}
     for node_id in graph.nodes:
         node = KPAsyncNode(node_id, graph.successors(node_id))

@@ -46,6 +46,10 @@ class KPVStyleNode(ClusterMergeNode):
         return min(self.frontier, key=repr)
 
 
-def run_kpv_style(graph: KnowledgeGraph, *, max_rounds: int = 100_000) -> BaselineResult:
+def run_kpv_style(
+    graph: KnowledgeGraph, *, max_rounds: int = 100_000, faults=None
+) -> BaselineResult:
     """Run the deterministic KPV-style baseline to silence."""
-    return run_cluster_merge(graph, KPVStyleNode, "kpv-style", max_rounds=max_rounds)
+    return run_cluster_merge(
+        graph, KPVStyleNode, "kpv-style", max_rounds=max_rounds, faults=faults
+    )

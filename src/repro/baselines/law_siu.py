@@ -57,7 +57,7 @@ class LawSiuNode(ClusterMergeNode):
 
 
 def run_law_siu(
-    graph: KnowledgeGraph, *, seed: int = 0, max_rounds: int = 100_000
+    graph: KnowledgeGraph, *, seed: int = 0, max_rounds: int = 100_000, faults=None
 ) -> BaselineResult:
     """Run the Law-Siu reconstruction to silence."""
     master = random.Random(seed)
@@ -65,4 +65,6 @@ def run_law_siu(
     def factory(node_id: NodeId, initial: FrozenSet[NodeId]) -> LawSiuNode:
         return LawSiuNode(node_id, initial, random.Random(master.randrange(2**62)))
 
-    return run_cluster_merge(graph, factory, "law-siu", max_rounds=max_rounds)
+    return run_cluster_merge(
+        graph, factory, "law-siu", max_rounds=max_rounds, faults=faults
+    )

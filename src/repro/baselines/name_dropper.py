@@ -56,11 +56,11 @@ class NameDropperNode(SyncNode):
 
 
 def run_name_dropper(
-    graph: KnowledgeGraph, *, seed: int = 0, max_rounds: int = 10_000
+    graph: KnowledgeGraph, *, seed: int = 0, max_rounds: int = 10_000, faults=None
 ) -> BaselineResult:
     """Run Name-Dropper until every node knows its whole component."""
     master = random.Random(seed)
-    sim = SyncSimulator(id_bits=id_bits_for(graph.n))
+    sim = SyncSimulator(id_bits=id_bits_for(graph.n), faults=faults)
     nodes: Dict[NodeId, NameDropperNode] = {}
     for node_id in graph.nodes:
         node = NameDropperNode(

@@ -75,6 +75,7 @@ def run_pointer_jump(
     seed: int = 0,
     max_rounds: int = 10_000,
     require_strong: bool = True,
+    faults=None,
 ) -> BaselineResult:
     """Run Random Pointer Jump until completeness.
 
@@ -89,7 +90,7 @@ def run_pointer_jump(
             "pass require_strong=False to observe the divergence"
         )
     master = random.Random(seed)
-    sim = SyncSimulator(id_bits=id_bits_for(graph.n))
+    sim = SyncSimulator(id_bits=id_bits_for(graph.n), faults=faults)
     nodes: Dict[NodeId, PointerJumpNode] = {}
     for node_id in graph.nodes:
         node = PointerJumpNode(

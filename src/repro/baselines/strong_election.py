@@ -108,12 +108,13 @@ def run_strong_election(
     *,
     initiator: Optional[NodeId] = None,
     max_steps: Optional[int] = None,
+    faults=None,
 ) -> BaselineResult:
     """Run the single-initiator traversal election on a strongly connected
     graph (raises if the graph is not strongly connected)."""
     if not is_strongly_connected(graph):
         raise ValueError("strong election requires a strongly connected graph")
-    sim = Simulator(id_bits=id_bits_for(graph.n))
+    sim = Simulator(id_bits=id_bits_for(graph.n), faults=faults)
     nodes: Dict[NodeId, TraversalNode] = {}
     for node_id in graph.nodes:
         node = TraversalNode(node_id, graph.successors(node_id))

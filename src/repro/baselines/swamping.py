@@ -55,9 +55,11 @@ class SwampingNode(SyncNode):
         return [(peer, payload) for peer in sorted(self.neighbors, key=repr)]
 
 
-def run_swamping(graph: KnowledgeGraph, *, max_rounds: int = 10_000) -> BaselineResult:
+def run_swamping(
+    graph: KnowledgeGraph, *, max_rounds: int = 10_000, faults=None
+) -> BaselineResult:
     """Run swamping until every node knows its whole component."""
-    sim = SyncSimulator(id_bits=id_bits_for(graph.n))
+    sim = SyncSimulator(id_bits=id_bits_for(graph.n), faults=faults)
     nodes: Dict[NodeId, SwampingNode] = {}
     for node_id in graph.nodes:
         node = SwampingNode(node_id, graph.successors(node_id))

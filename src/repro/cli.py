@@ -11,6 +11,9 @@ Commands
 ``families``      list the available graph families
 ``sweep``         multi-seed sweep of one experiment through the
                   ``repro.parallel`` engine (worker pool + result cache)
+``chaos``         fault-injection sweep: scenarios x variants under the
+                  stepwise safety monitor, with a degradation report
+                  (exit 1 if any safety invariant broke)
 
 Everything the CLI prints comes from the same experiment runners the
 benchmarks use, so numbers match ``benchmarks/results/``.
@@ -224,6 +227,61 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument(
         "--no-progress", action="store_true", help="suppress per-job stderr lines"
     )
+
+    chaos_p = sub.add_parser(
+        "chaos",
+        help="fault-injection sweep with stepwise safety checks",
+        description=(
+            "Run discovery variants under named fault scenarios (loss, "
+            "duplication, crash-stop, partitions, delay bursts) with the "
+            "stepwise safety monitor watching every step.  Prints the "
+            "aggregated degradation table; exits 1 if any trial broke a "
+            "safety invariant."
+        ),
+    )
+    chaos_p.add_argument(
+        "--scenarios",
+        default="all",
+        help="comma list of scenario names, or 'all' (see repro.faults)",
+    )
+    chaos_p.add_argument(
+        "--variants",
+        default="generic",
+        help="comma list of discovery variants (default: generic)",
+    )
+    chaos_p.add_argument("--n", type=int, default=32)
+    chaos_p.add_argument(
+        "--family", choices=sorted(GRAPH_FAMILIES), default="sparse-random"
+    )
+    chaos_p.add_argument(
+        "--seeds", default="0:4", help="half-open range 'a:b' or comma list"
+    )
+    chaos_p.add_argument(
+        "--workers", type=int, default=1, help="process-pool size (1 = serial)"
+    )
+    chaos_p.add_argument(
+        "--timeout", type=float, default=None, help="per-job timeout (parallel mode)"
+    )
+    chaos_p.add_argument(
+        "--raw",
+        action="store_true",
+        help="run the protocols bare, without the reliable transport "
+        "(measures how the algorithms themselves degrade)",
+    )
+    chaos_p.add_argument(
+        "--budget-factor",
+        type=int,
+        default=8,
+        help="step budget as a multiple of the fault-free budget (default: 8)",
+    )
+    chaos_p.add_argument(
+        "--bench-out",
+        default=None,
+        help="also write the aggregated table as JSON to this path",
+    )
+    chaos_p.add_argument(
+        "--no-progress", action="store_true", help="suppress per-job stderr lines"
+    )
     return parser
 
 
@@ -428,6 +486,123 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analysis.sweep import aggregate_tables
+    from repro.faults.harness import CHAOS_HEADERS
+    from repro.faults.scenarios import FAULT_SCENARIOS
+    from repro.parallel import (
+        JobFailure,
+        ParallelExecutor,
+        ProgressReporter,
+        sweep_jobs,
+    )
+
+    try:
+        seeds = _parse_seeds(args.seeds)
+    except ValueError as exc:
+        print(f"bad --seeds: {exc}", file=sys.stderr)
+        return 2
+    if not seeds:
+        print("bad --seeds: no seeds given", file=sys.stderr)
+        return 2
+    if args.scenarios.strip() == "all":
+        scenarios = tuple(FAULT_SCENARIOS)
+    else:
+        scenarios = tuple(s.strip() for s in args.scenarios.split(",") if s.strip())
+        unknown = [s for s in scenarios if s not in FAULT_SCENARIOS]
+        if unknown:
+            print(
+                f"unknown scenarios {unknown}; choose from "
+                f"{', '.join(sorted(FAULT_SCENARIOS))}",
+                file=sys.stderr,
+            )
+            return 2
+    variants = tuple(v.strip() for v in args.variants.split(",") if v.strip())
+    bad = [v for v in variants if v not in _RUNNERS]
+    if not variants or bad:
+        print(f"bad --variants {args.variants!r}", file=sys.stderr)
+        return 2
+
+    kwargs = {
+        "scenarios": scenarios,
+        "variants": variants,
+        "n": args.n,
+        "family": args.family,
+        "reliable": not args.raw,
+        "budget_factor": args.budget_factor,
+    }
+    # No result cache: chaos runs are the thing under test, and stale
+    # verdicts after a protocol change would defeat the point.
+    executor = ParallelExecutor(
+        workers=args.workers,
+        timeout=args.timeout,
+        progress=ProgressReporter(enabled=not args.no_progress),
+    )
+    results = executor.run(sweep_jobs("chaos", seeds, kwargs))
+    failures = [r for r in results if not r.ok]
+    if failures:
+        for failure in failures:
+            print(
+                f"FAILED {failure.job.label()}: {failure.status} ({failure.error})",
+                file=sys.stderr,
+            )
+        return 1
+    try:
+        headers, rows = aggregate_tables([r.table for r in results])
+    except (ValueError, JobFailure) as exc:
+        print(f"aggregation failed: {exc}", file=sys.stderr)
+        return 1
+
+    transport = "raw (no recovery)" if args.raw else "reliable transport"
+    print(
+        f"=== chaos: {len(scenarios)} scenarios x {len(variants)} variants "
+        f"x {len(seeds)} seeds, n={args.n} {args.family}, {transport} ==="
+    )
+    print(render_table(headers, rows))
+    safe_col = CHAOS_HEADERS.index("safe")
+    quiesced_col = CHAOS_HEADERS.index("quiesced")
+    props_col = CHAOS_HEADERS.index("props")
+
+    def clean(cell: object) -> bool:
+        # The 0/1 flag columns survive aggregation as plain numbers only
+        # when every seed agreed; a mixed column comes back as the string
+        # "mean [min, max]", which by construction means rate < 1.
+        return isinstance(cell, (int, float)) and cell >= 1.0
+
+    unsafe = [row for row in rows if not clean(row[safe_col])]
+    degraded = [
+        row
+        for row in rows
+        if not clean(row[quiesced_col]) or not clean(row[props_col])
+    ]
+    print(
+        f"degradation: {len(degraded)}/{len(rows)} scenario rows lost "
+        "quiescence or properties on some seed "
+        "(quiesced/safe/props columns are across-seed rates)"
+    )
+    if args.bench_out:
+        payload = {
+            "headers": headers,
+            "rows": rows,
+            "seeds": seeds,
+            "params": {k: list(v) if isinstance(v, tuple) else v for k, v in kwargs.items()},
+        }
+        with open(args.bench_out, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.bench_out}")
+    if unsafe:
+        print(
+            f"SAFETY VIOLATIONS in {len(unsafe)} scenario rows -- this is a bug.",
+            file=sys.stderr,
+        )
+        return 1
+    print("safety: clean (all stepwise invariants held on every seed)")
+    return 0
+
+
 def _cmd_families(_args: argparse.Namespace) -> int:
     for name in sorted(GRAPH_FAMILIES):
         example = build_family(name, 64, seed=0)
@@ -446,6 +621,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "profile": _cmd_profile,
         "report": _cmd_report,
         "sweep": _cmd_sweep,
+        "chaos": _cmd_chaos,
     }[args.command]
     return handler(args)
 

@@ -7,7 +7,7 @@ from typing import Dict, Hashable, Iterable, Optional, Sequence
 from repro.core.node import DiscoveryNode
 from repro.graphs.components import weakly_connected_components
 from repro.graphs.knowledge_graph import KnowledgeGraph
-from repro.sim.network import Simulator
+from repro.sim.network import ChannelInterceptor, Simulator
 from repro.sim.scheduler import GlobalFifoScheduler, RandomScheduler, Scheduler
 
 NodeId = Hashable
@@ -46,6 +46,10 @@ def build_simulation(
     greedy_queries: bool = False,
     channel_discipline: str = "fifo",
     channel_seed: int = 0,
+    faults: Optional[ChannelInterceptor] = None,
+    reliable: bool = False,
+    base_timeout: Optional[int] = None,
+    max_retries: int = 6,
 ) -> "tuple[Simulator, Dict[NodeId, DiscoveryNode]]":
     """Create a simulator with one :class:`DiscoveryNode` per graph node.
 
@@ -54,6 +58,14 @@ def build_simulation(
     ``wake_order`` (default: graph order); pass ``auto_wake=False`` for
     custom wake-up regimes (e.g. the Union-Find reduction's sequential
     schedule, where only operation nodes wake spontaneously).
+
+    ``faults`` attaches a :class:`~repro.sim.network.ChannelInterceptor`
+    (typically a :class:`~repro.faults.FaultInjector`).  ``reliable=True``
+    wraps every protocol node in the ack/retransmit transport
+    (:class:`~repro.faults.ReliableNode`) so the discovery algorithms keep
+    their exactly-once FIFO model over a faulty network; the returned
+    ``nodes`` dict always maps to the *inner* protocol nodes, which is what
+    verification and monitoring expect (``sim.nodes`` holds the wrappers).
     """
     if scheduler is None:
         scheduler = RandomScheduler(seed) if seed is not None else GlobalFifoScheduler()
@@ -63,12 +75,21 @@ def build_simulation(
         keep_trace=keep_trace,
         channel_discipline=channel_discipline,
         channel_seed=channel_seed,
+        faults=faults,
     )
     sizes: Dict[NodeId, int] = {}
     if variant == "bounded":
         for component in weakly_connected_components(graph):
             for member in component:
                 sizes[member] = len(component)
+    if reliable:
+        # Imported here: repro.faults builds on the sim layer, and pulling
+        # it in unconditionally would make the core depend on it even for
+        # the (common) fault-free runs.
+        from repro.faults.reliable import ReliableNode
+
+        if base_timeout is None:
+            base_timeout = max(32, 4 * graph.n)
     nodes: Dict[NodeId, DiscoveryNode] = {}
     for node_id in graph.nodes:
         node = DiscoveryNode(
@@ -79,7 +100,12 @@ def build_simulation(
             greedy_queries=greedy_queries,
         )
         nodes[node_id] = node
-        sim.add_node(node)
+        if reliable:
+            sim.add_node(
+                ReliableNode(node, base_timeout=base_timeout, max_retries=max_retries)
+            )
+        else:
+            sim.add_node(node)
     if auto_wake:
         for node_id in wake_order if wake_order is not None else graph.nodes:
             sim.schedule_wake(node_id)

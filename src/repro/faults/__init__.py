@@ -1,0 +1,66 @@
+"""Composable fault injection and recovery for the discovery simulator.
+
+Three layers, importable in one place:
+
+* :mod:`repro.faults.plan` -- declarative, seeded :class:`FaultPlan` data
+  (loss, duplication, crash-stop, transient partitions, delay bursts) and
+  the :class:`FaultInjector` that executes a plan against one run through
+  the simulator's :class:`~repro.sim.network.ChannelInterceptor` hooks;
+* :mod:`repro.faults.reliable` -- the ack/retransmit transport wrapper
+  that restores exactly-once FIFO channels over a faulty network;
+* :mod:`repro.faults.scenarios` / :mod:`repro.faults.harness` -- named
+  chaos scenarios and the safety-checked sweep harness behind
+  ``python -m repro chaos``.
+"""
+
+from repro.faults.harness import (
+    CHAOS_HEADERS,
+    ChaosTrial,
+    chaos_report,
+    exp_chaos,
+    run_chaos_trial,
+)
+from repro.faults.plan import (
+    CrashSpec,
+    DelayBurst,
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    PartitionSpec,
+)
+from repro.faults.reliable import (
+    OVERHEAD_TYPES,
+    RT_ACK,
+    RT_RETRANS,
+    Ack,
+    Data,
+    ReliableNode,
+    retransmission_overhead,
+    transport_totals,
+)
+from repro.faults.scenarios import FAULT_SCENARIOS, build_scenario, pick_crash_victims
+
+__all__ = [
+    "FaultPlan",
+    "FaultInjector",
+    "FaultEvent",
+    "CrashSpec",
+    "PartitionSpec",
+    "DelayBurst",
+    "ReliableNode",
+    "Data",
+    "Ack",
+    "RT_RETRANS",
+    "RT_ACK",
+    "OVERHEAD_TYPES",
+    "retransmission_overhead",
+    "transport_totals",
+    "FAULT_SCENARIOS",
+    "build_scenario",
+    "pick_crash_victims",
+    "ChaosTrial",
+    "run_chaos_trial",
+    "exp_chaos",
+    "chaos_report",
+    "CHAOS_HEADERS",
+]

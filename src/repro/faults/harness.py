@@ -1,0 +1,310 @@
+"""Chaos harness: fault scenarios x protocol variants, safety-checked.
+
+One *chaos trial* runs one discovery variant on one graph under one named
+fault scenario, with the stepwise safety monitor watching every step, and
+bins the execution into the five-way outcome taxonomy of
+:mod:`repro.verification.degradation`:
+
+``ok`` / ``degraded`` / ``stalled`` / ``detected`` are all acceptable ways
+for a protocol to meet faults -- the report measures how gracefully each
+variant degrades.  ``violated`` (a stepwise invariant broke, or safety
+failed at rest) is never acceptable under any plan: the chaos sweep's hard
+assertion, and the CI smoke job's exit code, is ``violations == 0``.
+
+The sweep entry point :func:`exp_chaos` returns a plain ``(headers, rows)``
+table so it plugs into ``SWEEPABLE_EXPERIMENTS`` and rides the sharded
+:class:`~repro.parallel.ParallelExecutor` unchanged.  Boolean verdicts are
+encoded as 0/1 ints on purpose: the sweep aggregator averages numeric
+columns across seeds, turning the flags into rates (e.g. ``safe = 1.0``
+means safety held on every seed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.analysis.experiments import build_family
+from repro.core.node import ProtocolError
+from repro.core.runner import build_simulation, default_step_budget
+from repro.faults.plan import FaultInjector, FaultPlan
+from repro.faults.reliable import ReliableNode, retransmission_overhead, transport_totals
+from repro.faults.scenarios import FAULT_SCENARIOS, build_scenario
+from repro.sim.network import SimulationError
+from repro.verification.degradation import (
+    OUTCOME_DEGRADED,
+    OUTCOME_DETECTED,
+    OUTCOME_OK,
+    OUTCOME_STALLED,
+    OUTCOME_VIOLATED,
+    SurvivalReport,
+    verify_surviving,
+)
+from repro.verification.monitor import SafetyViolation, check_safety_now
+
+NodeId = Hashable
+Rows = List[List[Any]]
+Table = Tuple[List[str], Rows]
+
+__all__ = [
+    "ChaosTrial",
+    "run_chaos_trial",
+    "exp_chaos",
+    "chaos_report",
+    "CHAOS_HEADERS",
+]
+
+
+@dataclass
+class ChaosTrial:
+    """Everything measured about one chaotic execution."""
+
+    scenario: str
+    variant: str
+    family: str
+    n: int
+    seed: int
+    reliable: bool
+    plan: FaultPlan
+    outcome: str
+    quiesced: bool
+    safety_ok: bool
+    survival: SurvivalReport
+    steps: int
+    total_messages: int
+    total_bits: int
+    overhead_messages: int
+    overhead_bits: int
+    retransmissions: int
+    undeliverable: int
+    faults_injected: int
+    fault_counts: Dict[str, int] = field(default_factory=dict)
+    detail: str = ""
+
+    @property
+    def properties_ok(self) -> bool:
+        return self.survival.properties_ok
+
+
+def run_chaos_trial(
+    scenario: "str | FaultPlan" = "baseline",
+    variant: str = "generic",
+    family: str = "sparse-random",
+    n: int = 32,
+    seed: int = 0,
+    *,
+    reliable: bool = True,
+    monitor_every: int = 1,
+    budget_factor: int = 8,
+    base_timeout: Optional[int] = None,
+    max_retries: int = 6,
+) -> ChaosTrial:
+    """Run one variant under one fault scenario and classify the outcome.
+
+    ``scenario`` is a name from :data:`~repro.faults.FAULT_SCENARIOS` or a
+    literal :class:`FaultPlan` (property-style tests throw arbitrary plans
+    at the protocols this way).
+
+    Never raises on degradation: stalls, loud protocol errors and property
+    misses come back as outcomes.  Only genuinely unexpected exceptions
+    (bugs in the harness itself) propagate.
+
+    ``budget_factor`` scales the fault-free step budget -- retransmission
+    timers and deferred deliveries all charge steps, so chaotic runs are
+    legitimately longer than clean ones.
+    """
+    graph = build_family(family, n, seed)
+    if isinstance(scenario, FaultPlan):
+        plan, scenario = scenario, scenario.describe()
+    else:
+        plan = build_scenario(scenario, graph, seed)
+    injector = FaultInjector(plan, seed=seed, keep_log=False)
+    sim, nodes = build_simulation(
+        graph,
+        variant,
+        seed=seed,
+        faults=injector,
+        reliable=reliable,
+        base_timeout=base_timeout,
+        max_retries=max_retries,
+    )
+    budget = budget_factor * default_step_budget(graph)
+    violated = detected = stalled = False
+    detail = ""
+    executed = 0
+    try:
+        while sim.step():
+            executed += 1
+            if executed % monitor_every == 0:
+                check_safety_now(nodes, step=sim.steps)
+            if executed >= budget and not sim.is_quiescent:
+                stalled = True
+                detail = f"no quiescence within {budget} steps"
+                break
+    except SafetyViolation as exc:
+        violated, detail = True, str(exc)
+    except ProtocolError as exc:
+        detected, detail = True, str(exc)
+    except SimulationError as exc:
+        detected, detail = True, str(exc)
+    if not violated:
+        # Safety at rest: whatever state the run ended in (quiescent,
+        # stalled, or mid-flight after a loud failure) must satisfy I1-I4.
+        try:
+            check_safety_now(nodes, step=sim.steps)
+        except SafetyViolation as exc:
+            violated, detail = True, str(exc)
+    quiesced = sim.is_quiescent and not (violated or detected or stalled)
+    survival = verify_surviving(
+        graph, nodes, sim, variant, injector.crashed_nodes(sim.steps)
+    )
+    if violated:
+        outcome = OUTCOME_VIOLATED
+    elif detected:
+        outcome = OUTCOME_DETECTED
+    elif stalled:
+        outcome = OUTCOME_STALLED
+    elif quiesced and survival.properties_ok:
+        outcome = OUTCOME_OK
+    else:
+        outcome = OUTCOME_DEGRADED
+        if not detail:
+            detail = survival.detail
+    overhead = retransmission_overhead(sim.stats)
+    if reliable:
+        transport = transport_totals(
+            {
+                node_id: wrapper
+                for node_id, wrapper in sim.nodes.items()
+                if isinstance(wrapper, ReliableNode)
+            }
+        )
+    else:
+        transport = {"retransmissions": 0, "undeliverable": 0}
+    return ChaosTrial(
+        scenario=scenario,
+        variant=variant,
+        family=family,
+        n=graph.n,
+        seed=seed,
+        reliable=reliable,
+        plan=plan,
+        outcome=outcome,
+        quiesced=quiesced,
+        safety_ok=not violated,
+        survival=survival,
+        steps=sim.steps,
+        total_messages=sim.stats.total_messages,
+        total_bits=sim.stats.total_bits,
+        overhead_messages=overhead["overhead_messages"],
+        overhead_bits=overhead["overhead_bits"],
+        retransmissions=transport["retransmissions"],
+        undeliverable=transport["undeliverable"],
+        faults_injected=injector.total_injected,
+        fault_counts=dict(injector.counts),
+        detail=detail,
+    )
+
+
+#: Column order of :func:`exp_chaos`.  Verdict flags are 0/1 ints so the
+#: sweep aggregator turns them into across-seed rates.
+CHAOS_HEADERS = [
+    "scenario",
+    "variant",
+    "n",
+    "quiesced",
+    "safe",
+    "props",
+    "survivors",
+    "components",
+    "steps",
+    "messages",
+    "overhead-msgs",
+    "retrans",
+    "undeliv",
+    "faults",
+]
+
+
+def exp_chaos(
+    scenarios: Sequence[str] = tuple(FAULT_SCENARIOS),
+    variants: Sequence[str] = ("generic",),
+    n: int = 32,
+    family: str = "sparse-random",
+    seed: int = 0,
+    *,
+    reliable: bool = True,
+    monitor_every: int = 1,
+    budget_factor: int = 8,
+) -> Table:
+    """EXP-chaos: degradation table over scenarios x variants (one seed).
+
+    The sweepable entry point: ``python -m repro sweep -e chaos`` and the
+    ``chaos`` subcommand fan seeds of this function out over worker
+    processes and aggregate the 0/1 verdict columns into rates.
+    """
+    rows: Rows = []
+    for scenario in scenarios:
+        for variant in variants:
+            trial = run_chaos_trial(
+                scenario,
+                variant,
+                family,
+                n,
+                seed,
+                reliable=reliable,
+                monitor_every=monitor_every,
+                budget_factor=budget_factor,
+            )
+            rows.append(
+                [
+                    scenario,
+                    variant,
+                    trial.n,
+                    int(trial.quiesced),
+                    int(trial.safety_ok),
+                    int(trial.properties_ok),
+                    trial.survival.n_survivors,
+                    trial.survival.n_components,
+                    trial.steps,
+                    trial.total_messages,
+                    trial.overhead_messages,
+                    trial.retransmissions,
+                    trial.undeliverable,
+                    trial.faults_injected,
+                ]
+            )
+    return CHAOS_HEADERS, rows
+
+
+def chaos_report(trials: Sequence[ChaosTrial]) -> str:
+    """Human-readable degradation report over a batch of chaos trials."""
+    lines: List[str] = []
+    violations = [t for t in trials if t.outcome == OUTCOME_VIOLATED]
+    by_outcome: Dict[str, int] = {}
+    for trial in trials:
+        by_outcome[trial.outcome] = by_outcome.get(trial.outcome, 0) + 1
+    lines.append(
+        f"chaos: {len(trials)} trials -- "
+        + ", ".join(f"{k}={v}" for k, v in sorted(by_outcome.items()))
+    )
+    for trial in trials:
+        mark = "!!" if trial.outcome == OUTCOME_VIOLATED else "  "
+        overhead_pct = (
+            100.0 * trial.overhead_messages / trial.total_messages
+            if trial.total_messages
+            else 0.0
+        )
+        lines.append(
+            f"{mark} {trial.scenario:<15} {trial.variant:<8} n={trial.n:<5} "
+            f"seed={trial.seed:<3} -> {trial.outcome:<9} "
+            f"[{trial.plan.describe()}] steps={trial.steps} "
+            f"msgs={trial.total_messages} overhead={overhead_pct:.1f}% "
+            f"survivors={trial.survival.n_survivors}"
+            + (f"  ({trial.detail})" if trial.detail else "")
+        )
+    if violations:
+        lines.append(f"SAFETY VIOLATIONS: {len(violations)} -- this is a bug.")
+    else:
+        lines.append("safety: clean (0 violations across all trials)")
+    return "\n".join(lines)

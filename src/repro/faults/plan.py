@@ -1,0 +1,283 @@
+"""Declarative, seeded, composable fault plans.
+
+The paper's model (Section 1.2) assumes reliable exactly-once FIFO channels
+and nodes that never fail.  A :class:`FaultPlan` names the ways one
+execution departs from that model:
+
+* **message loss** -- each sent message is independently dropped with
+  probability ``loss``;
+* **duplication** -- each sent message is independently delivered twice
+  with probability ``duplicate`` (finding F7's fault, previously the
+  ad-hoc ``Simulator.duplicate_probability`` knob);
+* **crash-stop nodes** -- a :class:`CrashSpec` silences a node from a given
+  virtual time on: no wake-up, no deliveries, no timers, and (since its
+  handlers never run) no sends.  Crash-stop is the classic benign failure
+  model; there is no recovery and no Byzantine behaviour;
+* **transient partitions** -- a :class:`PartitionSpec` isolates an island
+  of nodes from the rest of the system for a step window; messages sent
+  across the cut during the window are lost, and the link heals afterwards;
+* **adversarial delay bursts** -- a :class:`DelayBurst` defers (a fraction
+  of) pending deliveries during a step window.  Delay never violates the
+  asynchronous model (delays are finite), so it degrades nothing a correct
+  protocol relies on -- it exists to stress timeout tuning in the recovery
+  layer.
+
+The plan is pure data; all randomness comes from the seed handed to the
+:class:`FaultInjector`, so every chaotic execution is exactly replayable.
+Virtual time is the simulator's executed-step counter -- the only clock an
+asynchronous system has.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from random import Random
+from typing import Any, Dict, FrozenSet, Hashable, List, Optional, Tuple
+
+from repro.sim.events import DeliverToken, TimerToken
+from repro.sim.network import DEFER, DELIVER, DROP, ChannelInterceptor, Simulator
+
+NodeId = Hashable
+
+__all__ = [
+    "CrashSpec",
+    "PartitionSpec",
+    "DelayBurst",
+    "FaultPlan",
+    "FaultEvent",
+    "FaultInjector",
+]
+
+
+@dataclass(frozen=True)
+class CrashSpec:
+    """Crash-stop ``node`` at virtual time ``at_step`` (0 = never ran)."""
+
+    node: NodeId
+    at_step: int = 0
+
+    def __post_init__(self) -> None:
+        if self.at_step < 0:
+            raise ValueError(f"at_step must be >= 0, got {self.at_step}")
+
+
+@dataclass(frozen=True)
+class PartitionSpec:
+    """Isolate ``island`` from the rest of the system during
+    ``[start, heal)``.  Traffic inside the island and inside the mainland
+    still flows; only cut-crossing messages are lost.  ``heal`` is the heal
+    time: from that step on the link carries messages again."""
+
+    island: FrozenSet[NodeId]
+    start: int = 0
+    heal: int = 10**9
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "island", frozenset(self.island))
+        if not self.island:
+            raise ValueError("partition island must be non-empty")
+        if not 0 <= self.start < self.heal:
+            raise ValueError(
+                f"need 0 <= start < heal, got start={self.start} heal={self.heal}"
+            )
+
+    def severs(self, src: NodeId, dst: NodeId, step: int) -> bool:
+        return (
+            self.start <= step < self.heal
+            and (src in self.island) != (dst in self.island)
+        )
+
+
+@dataclass(frozen=True)
+class DelayBurst:
+    """Defer each pending delivery with probability ``fraction`` during
+    ``[start, start + duration)``.  Deferring charges a step, so the window
+    always expires; a burst can stretch deliveries, never prevent them."""
+
+    start: int
+    duration: int
+    fraction: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.duration < 1:
+            raise ValueError(
+                f"need start >= 0 and duration >= 1, got {self.start}/{self.duration}"
+            )
+        if not 0.0 < self.fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {self.fraction}")
+
+    def active(self, step: int) -> bool:
+        return self.start <= step < self.start + self.duration
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A composition of channel and node faults (see module docstring).
+
+    The default instance is the paper's fault-free model; every field adds
+    one departure.  Plans are immutable and picklable, so they travel into
+    sweep worker processes as part of a job spec.
+    """
+
+    loss: float = 0.0
+    duplicate: float = 0.0
+    crashes: Tuple[CrashSpec, ...] = ()
+    partitions: Tuple[PartitionSpec, ...] = ()
+    delays: Tuple[DelayBurst, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.loss < 1.0:
+            raise ValueError(f"loss must be in [0, 1), got {self.loss}")
+        if not 0.0 <= self.duplicate <= 1.0:
+            raise ValueError(f"duplicate must be in [0, 1], got {self.duplicate}")
+        object.__setattr__(self, "crashes", tuple(self.crashes))
+        object.__setattr__(self, "partitions", tuple(self.partitions))
+        object.__setattr__(self, "delays", tuple(self.delays))
+        crashed = [spec.node for spec in self.crashes]
+        if len(crashed) != len(set(crashed)):
+            raise ValueError(f"duplicate crash specs: {crashed}")
+
+    @property
+    def is_fault_free(self) -> bool:
+        return (
+            self.loss == 0.0
+            and self.duplicate == 0.0
+            and not self.crashes
+            and not self.partitions
+            and not self.delays
+        )
+
+    def describe(self) -> str:
+        parts: List[str] = []
+        if self.loss:
+            parts.append(f"loss={self.loss:g}")
+        if self.duplicate:
+            parts.append(f"dup={self.duplicate:g}")
+        if self.crashes:
+            parts.append(f"crashes={len(self.crashes)}")
+        if self.partitions:
+            parts.append(f"partitions={len(self.partitions)}")
+        if self.delays:
+            parts.append(f"delay-bursts={len(self.delays)}")
+        return "+".join(parts) if parts else "fault-free"
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault, for post-mortem inspection of a chaotic run."""
+
+    step: int
+    kind: str  # "loss" | "duplicate" | "partition-drop" | "crash-drop" | "defer"
+    src: Optional[NodeId]
+    dst: Optional[NodeId]
+    msg_type: Optional[str] = None
+
+
+class FaultInjector(ChannelInterceptor):
+    """Executes a :class:`FaultPlan` against one simulator run.
+
+    One injector drives one execution: it owns the RNG stream (seeded, so
+    the chaos is replayable), the per-kind fault counters, and the event
+    log.  Attach it via ``Simulator(faults=...)``; the simulator consults
+    it through the :class:`~repro.sim.network.ChannelInterceptor` hooks.
+
+    The RNG is consulted in a fixed order (loss roll, then duplication
+    roll, per transmit; one roll per deferrable delivery), so identical
+    ``(plan, seed)`` pairs inject identical faults given an identical
+    schedule.
+    """
+
+    def __init__(self, plan: FaultPlan, *, seed: int = 0, keep_log: bool = True) -> None:
+        self.plan = plan
+        self.seed = seed
+        self._rng = Random(seed)
+        self._crash_at: Dict[NodeId, int] = {
+            spec.node: spec.at_step for spec in plan.crashes
+        }
+        self.counts: Dict[str, int] = {
+            "loss": 0,
+            "duplicate": 0,
+            "partition-drop": 0,
+            "crash-drop": 0,
+            "defer": 0,
+            "wake-suppressed": 0,
+        }
+        self.log: List[FaultEvent] = [] if keep_log else _NullLog()
+
+    # -- crash bookkeeping ---------------------------------------------
+    def crashed(self, node: NodeId, step: int) -> bool:
+        at = self._crash_at.get(node)
+        return at is not None and step >= at
+
+    def crashed_nodes(self, step: int) -> FrozenSet[NodeId]:
+        return frozenset(n for n, at in self._crash_at.items() if step >= at)
+
+    # -- ChannelInterceptor hooks --------------------------------------
+    def copies(self, sim: Simulator, src: NodeId, dst: NodeId, message: Any) -> int:
+        step = sim.steps
+        msg_type = getattr(message, "msg_type", None)
+        if self.crashed(src, step):
+            # Defensive: a crashed node's handlers never run, so this only
+            # triggers if a handler was mid-flight when the crash step hit.
+            self._note(step, "crash-drop", src, dst, msg_type)
+            return 0
+        for partition in self.plan.partitions:
+            if partition.severs(src, dst, step):
+                self._note(step, "partition-drop", src, dst, msg_type)
+                return 0
+        if self.plan.loss > 0.0 and self._rng.random() < self.plan.loss:
+            self._note(step, "loss", src, dst, msg_type)
+            return 0
+        if self.plan.duplicate > 0.0 and self._rng.random() < self.plan.duplicate:
+            self._note(step, "duplicate", src, dst, msg_type)
+            return 2
+        return 1
+
+    def deliver_action(self, sim: Simulator, token: DeliverToken) -> str:
+        step = sim.steps
+        if self.crashed(token.dst, step):
+            self._note(step, "crash-drop", token.src, token.dst, None)
+            return DROP
+        for burst in self.plan.delays:
+            if burst.active(step):
+                if burst.fraction >= 1.0 or self._rng.random() < burst.fraction:
+                    self._note(step, "defer", token.src, token.dst, None)
+                    return DEFER
+                break  # rolled and passed; don't re-roll for later bursts
+        return DELIVER
+
+    def wake_allowed(self, sim: Simulator, node: NodeId) -> bool:
+        if self.crashed(node, sim.steps):
+            self.counts["wake-suppressed"] += 1
+            return False
+        return True
+
+    def timer_allowed(self, sim: Simulator, token: TimerToken) -> bool:
+        return not self.crashed(token.node, sim.steps)
+
+    # -- reporting ------------------------------------------------------
+    @property
+    def total_injected(self) -> int:
+        return sum(self.counts.values())
+
+    def summary(self) -> Dict[str, int]:
+        """Non-zero fault counters (stable keys for tables/JSON)."""
+        return {kind: count for kind, count in self.counts.items() if count}
+
+    def _note(
+        self,
+        step: int,
+        kind: str,
+        src: Optional[NodeId],
+        dst: Optional[NodeId],
+        msg_type: Optional[str],
+    ) -> None:
+        self.counts[kind] += 1
+        self.log.append(FaultEvent(step, kind, src, dst, msg_type))
+
+
+class _NullLog(list):
+    """A log that forgets: keeps long chaos sweeps memory-flat."""
+
+    def append(self, event: FaultEvent) -> None:  # noqa: D401 - list override
+        pass

@@ -1,0 +1,329 @@
+"""Ack/retransmit transport: exactly-once FIFO over unreliable channels.
+
+The discovery algorithms are correct only in the paper's model -- reliable
+exactly-once FIFO channels.  :class:`ReliableNode` restores that model over
+a faulty network, so every protocol built on :class:`~repro.sim.network.SimNode`
+(the Generic/Bounded/Ad-hoc :class:`~repro.core.node.DiscoveryNode`, the
+asynchronous baselines) runs **unchanged** under message loss, duplication
+and reordering.  It is the classic reliable-transport construction:
+
+* the sender stamps each payload with a **per-destination sequence number**
+  and keeps it buffered until acknowledged;
+* the receiver delivers payloads to the wrapped node **in sequence order,
+  exactly once** -- out-of-order arrivals are parked, duplicates discarded
+  -- and answers every data message with a **cumulative ack**;
+* an unacked channel is **retransmitted go-back-N style** on a timeout
+  measured in simulator steps (the asynchronous model's only clock), with
+  **exponential backoff**; after ``max_retries`` fruitless rounds the
+  channel gives up and records the payloads as undeliverable (the peer is
+  presumed crashed -- retrying forever would forfeit quiescence).
+
+Overhead accounting (the quantity ``BENCH_faults.json`` tracks): the first
+copy of a payload is charged under the payload's own message type (plus
+``id_bits`` for the sequence number), so the protocol's per-type lemma
+accounting stays meaningful; every retransmission is charged as
+``rt-retrans`` and every ack as ``rt-ack``.  ``messages("rt-retrans",
+"rt-ack")`` is therefore exactly the price of reliability.
+
+Give-up is the transport's only departure from exactly-once semantics: a
+payload addressed to a crashed peer is eventually dropped.  That is
+unavoidable -- TCP does the same -- and safe here because the discovery
+protocols' *safety* properties tolerate missing messages (they are what a
+slow network already looks like); only liveness degrades.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, List, Optional, Tuple
+
+from repro.sim.events import TimerToken
+from repro.sim.network import SimNode, SimulationError, Simulator
+from repro.sim.trace import MessageStats, bits_for_ids
+
+NodeId = Hashable
+
+__all__ = [
+    "Data",
+    "Ack",
+    "ReliableNode",
+    "RT_RETRANS",
+    "RT_ACK",
+    "OVERHEAD_TYPES",
+    "retransmission_overhead",
+    "transport_totals",
+]
+
+#: Message types charged as recovery overhead, never protocol traffic.
+RT_RETRANS = "rt-retrans"
+RT_ACK = "rt-ack"
+OVERHEAD_TYPES = (RT_RETRANS, RT_ACK)
+
+
+@dataclass(frozen=True)
+class Data:
+    """A protocol payload framed with a per-channel sequence number."""
+
+    seq: int
+    payload: Any
+    retransmit: bool = False
+
+    @property
+    def msg_type(self) -> str:
+        # First copies keep the payload's type so per-type accounting (the
+        # Section 5 lemmas) still sees the protocol's traffic; retransmits
+        # are pure overhead and get their own bucket.
+        if self.retransmit:
+            return RT_RETRANS
+        return getattr(self.payload, "msg_type", "data")
+
+    def bit_size(self, id_bits: int) -> int:
+        # Payload bits + one O(log n)-bit sequence number.
+        return self.payload.bit_size(id_bits) + id_bits
+
+
+@dataclass(frozen=True)
+class Ack:
+    """Cumulative acknowledgement: every seq <= ``cum`` has been received."""
+
+    cum: int
+    msg_type = RT_ACK
+
+    def bit_size(self, id_bits: int) -> int:
+        return bits_for_ids(0, id_bits, extra_ints=1)
+
+
+class _Port:
+    """The fake simulator handed to the wrapped node.
+
+    Routes the node's sends through the wrapper's reliable path; everything
+    else (stats, id_bits, ...) forwards to the real simulator, so protocol
+    code that inspects its environment keeps working.
+    """
+
+    def __init__(self, wrapper: "ReliableNode") -> None:
+        self._wrapper = wrapper
+
+    def transmit(self, src: NodeId, dst: NodeId, message: Any) -> None:
+        self._wrapper.reliable_send(dst, message)
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._wrapper.sim, name)
+
+
+class _Channel:
+    """Sender-side state for one (self -> dst) reliable channel."""
+
+    __slots__ = ("next_seq", "outstanding", "timer", "attempts", "timeout")
+
+    def __init__(self) -> None:
+        self.next_seq = 0
+        self.outstanding: Dict[int, Any] = {}  # seq -> payload, insertion = seq order
+        self.timer: Optional[TimerToken] = None
+        self.attempts = 0
+        self.timeout = 0  # set on first arm
+
+
+class ReliableNode(SimNode):
+    """Wrap any :class:`SimNode` in the reliable transport.
+
+    The wrapper registers with the simulator under the inner node's id;
+    the inner node is re-pointed at a :class:`_Port` so its ``send`` calls
+    enter the reliable path.  Verification and monitoring keep operating on
+    the *inner* nodes -- the wrapper is invisible to the protocol layer.
+
+    Parameters
+    ----------
+    inner:
+        The protocol node to protect.  Must not already be bound.
+    base_timeout:
+        First retransmit timeout in simulator steps.  Too small merely
+        wastes overhead (spurious retransmits are deduplicated); too large
+        slows recovery.  Scale with system size: every node's handler
+        steps share the one global step clock.
+    max_retries:
+        Retransmission rounds before a channel gives up (presumed-crashed
+        peer).  With exponential backoff the give-up horizon is
+        ``base_timeout * (2^(max_retries+1) - 1)`` steps.
+    """
+
+    def __init__(
+        self,
+        inner: SimNode,
+        *,
+        base_timeout: int = 64,
+        max_retries: int = 6,
+        backoff: float = 2.0,
+    ) -> None:
+        if base_timeout < 1:
+            raise ValueError(f"base_timeout must be >= 1, got {base_timeout}")
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if backoff < 1.0:
+            raise ValueError(f"backoff must be >= 1.0, got {backoff}")
+        super().__init__(inner.node_id)
+        if inner._sim is not None:
+            raise SimulationError(
+                f"node {inner.node_id!r} is already bound; wrap before add_node"
+            )
+        self.inner = inner
+        inner._sim = _Port(self)
+        self.base_timeout = base_timeout
+        self.max_retries = max_retries
+        self.backoff = backoff
+        self._channels: Dict[NodeId, _Channel] = {}
+        self._expected: Dict[NodeId, int] = {}
+        self._reorder: Dict[NodeId, Dict[int, Any]] = {}
+        # -- transport telemetry --
+        self.retransmissions = 0
+        self.duplicates_discarded = 0
+        self.reordered_buffered = 0
+        self.undeliverable: List[Tuple[NodeId, Any]] = []
+
+    # ------------------------------------------------------------------
+    # sender side
+    # ------------------------------------------------------------------
+    def reliable_send(self, dst: NodeId, payload: Any) -> None:
+        """Send ``payload`` with at-least-once delivery + receiver dedupe."""
+        if dst == self.node_id:
+            raise SimulationError(
+                f"node {self.node_id!r} tried to message itself through the "
+                "reliable transport"
+            )
+        channel = self._channels.setdefault(dst, _Channel())
+        seq = channel.next_seq
+        channel.next_seq += 1
+        channel.outstanding[seq] = payload
+        self.sim.transmit(self.node_id, dst, Data(seq, payload))
+        if channel.timer is None:
+            self._arm(dst, channel, reset_backoff=True)
+
+    def on_timer(self, tag: Hashable) -> None:
+        dst = tag
+        channel = self._channels.get(dst)
+        if channel is None:
+            return
+        channel.timer = None
+        if not channel.outstanding:
+            return  # acked while the timer was in flight
+        channel.attempts += 1
+        if channel.attempts > self.max_retries:
+            # Peer presumed crashed: drop the channel's backlog so the
+            # system can quiesce.  Liveness may degrade; safety cannot --
+            # a dropped message is indistinguishable from a slow one.
+            for seq in sorted(channel.outstanding):
+                self.undeliverable.append((dst, channel.outstanding[seq]))
+            channel.outstanding.clear()
+            return
+        for seq in sorted(channel.outstanding):
+            self.sim.transmit(
+                self.node_id, dst, Data(seq, channel.outstanding[seq], retransmit=True)
+            )
+            self.retransmissions += 1
+        channel.timeout = int(channel.timeout * self.backoff) or self.base_timeout
+        self._arm(dst, channel, reset_backoff=False)
+
+    def _arm(self, dst: NodeId, channel: _Channel, *, reset_backoff: bool) -> None:
+        if reset_backoff:
+            channel.attempts = 0
+            channel.timeout = self.base_timeout
+        channel.timer = self.sim.schedule_timer(self.node_id, channel.timeout, tag=dst)
+
+    def _handle_ack(self, dst: NodeId, ack: Ack) -> None:
+        channel = self._channels.get(dst)
+        if channel is None:
+            return
+        acked = [seq for seq in channel.outstanding if seq <= ack.cum]
+        for seq in acked:
+            del channel.outstanding[seq]
+        if channel.timer is not None and (acked or not channel.outstanding):
+            # Progress: stop the pending timer; re-arm fresh if the channel
+            # still has unacked traffic (backoff resets -- the peer lives).
+            self.sim.cancel_timer(channel.timer)
+            channel.timer = None
+        if channel.outstanding and channel.timer is None:
+            self._arm(dst, channel, reset_backoff=True)
+
+    # ------------------------------------------------------------------
+    # receiver side
+    # ------------------------------------------------------------------
+    def _handle_data(self, src: NodeId, data: Data) -> None:
+        expected = self._expected.setdefault(src, 0)
+        if data.seq == expected:
+            self._deliver(src, data.payload)
+            expected += 1
+            parked = self._reorder.get(src)
+            while parked and expected in parked:
+                self._deliver(src, parked.pop(expected))
+                expected += 1
+            self._expected[src] = expected
+        elif data.seq > expected:
+            parked = self._reorder.setdefault(src, {})
+            if data.seq not in parked:
+                parked[data.seq] = data.payload
+                self.reordered_buffered += 1
+            else:
+                self.duplicates_discarded += 1
+        else:
+            self.duplicates_discarded += 1
+        # Cumulative ack; also re-acks duplicates so a lost ack is repaired
+        # by the retransmission it provokes.
+        self.sim.transmit(self.node_id, src, Ack(self._expected[src] - 1))
+
+    def _deliver(self, src: NodeId, payload: Any) -> None:
+        if not self.inner.awake:
+            self.inner.awake = True
+            self.inner.on_wake()
+        self.inner.on_message(src, payload)
+
+    # ------------------------------------------------------------------
+    # SimNode interface
+    # ------------------------------------------------------------------
+    def on_wake(self) -> None:
+        if not self.inner.awake:
+            self.inner.awake = True
+            self.inner.on_wake()
+
+    def on_message(self, sender: NodeId, message: Any) -> None:
+        if isinstance(message, Data):
+            self._handle_data(sender, message)
+        elif isinstance(message, Ack):
+            self._handle_ack(sender, message)
+        else:
+            raise SimulationError(
+                f"reliable node {self.node_id!r} got a raw {message!r}; mixing "
+                "wrapped and unwrapped nodes on one simulator is unsupported"
+            )
+
+    @property
+    def outstanding_total(self) -> int:
+        return sum(len(ch.outstanding) for ch in self._channels.values())
+
+
+# ----------------------------------------------------------------------
+# accounting helpers
+# ----------------------------------------------------------------------
+def retransmission_overhead(stats: MessageStats) -> Dict[str, int]:
+    """Messages/bits spent on reliability, split out of ``stats``.
+
+    ``protocol_*`` counts everything else -- i.e. what the run would have
+    cost in the fault-free model plus the per-message sequence numbers.
+    """
+    overhead_msgs = stats.messages(*OVERHEAD_TYPES)
+    overhead_bits = stats.bits(*OVERHEAD_TYPES)
+    return {
+        "overhead_messages": overhead_msgs,
+        "overhead_bits": overhead_bits,
+        "protocol_messages": stats.total_messages - overhead_msgs,
+        "protocol_bits": stats.total_bits - overhead_bits,
+    }
+
+
+def transport_totals(wrappers: Dict[NodeId, ReliableNode]) -> Dict[str, int]:
+    """Aggregate transport telemetry across a system's wrappers."""
+    return {
+        "retransmissions": sum(w.retransmissions for w in wrappers.values()),
+        "duplicates_discarded": sum(w.duplicates_discarded for w in wrappers.values()),
+        "reordered_buffered": sum(w.reordered_buffered for w in wrappers.values()),
+        "undeliverable": sum(len(w.undeliverable) for w in wrappers.values()),
+    }

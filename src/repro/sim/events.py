@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Hashable, Tuple, Union
 
-__all__ = ["WakeToken", "DeliverToken", "Token"]
+__all__ = ["WakeToken", "DeliverToken", "TimerToken", "Token"]
 
 
 @dataclass(frozen=True)
@@ -44,4 +44,35 @@ class DeliverToken:
         return (self.src, self.dst)
 
 
-Token = Union[WakeToken, DeliverToken]
+@dataclass(eq=False)
+class TimerToken:
+    """Fire ``node``'s :meth:`~repro.sim.network.SimNode.on_timer` at virtual
+    time ``due`` (a simulator step count).
+
+    The asynchronous model has no clocks, so a timer is *approximate* by
+    design: a popped token whose due step has not arrived is re-enqueued, and
+    since every pop advances the step counter the due step is always reached.
+    Timers exist for the benefit of *transport-layer* machinery (the
+    ack/retransmit recovery layer of :mod:`repro.faults.reliable`); protocol
+    nodes must not rely on them -- the paper's model gives them no clocks.
+
+    Unlike the frozen message/wake tokens, a timer is mutable: cancelling it
+    (``cancelled = True``) turns the eventual fire into a no-op that is
+    dropped without charging a step, so quiescence is not delayed by
+    already-acknowledged retransmit timers.
+    """
+
+    node: Hashable
+    due: int
+    tag: Hashable = None
+    cancelled: bool = False
+
+    @property
+    def channel(self) -> None:
+        return None
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+Token = Union[WakeToken, DeliverToken, TimerToken]

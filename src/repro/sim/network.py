@@ -27,17 +27,64 @@ import random as _random
 from collections import deque
 from typing import Any, Callable, Deque, Dict, Hashable, List, Optional, Tuple
 
-from repro.sim.events import DeliverToken, Token, WakeToken
+from repro.sim.events import DeliverToken, TimerToken, Token, WakeToken
 from repro.sim.scheduler import GlobalFifoScheduler, Scheduler
 from repro.sim.trace import ExecutionTrace, MessageStats, TraceEvent
 
 __all__ = [
     "SimNode",
     "Simulator",
+    "ChannelInterceptor",
+    "DELIVER",
+    "DROP",
+    "DEFER",
     "SimulationError",
     "StuckExecutionError",
     "StepLimitExceeded",
 ]
+
+#: Verdicts a :class:`ChannelInterceptor` may return for a pending delivery.
+DELIVER, DROP, DEFER = "deliver", "drop", "defer"
+
+
+class ChannelInterceptor:
+    """Interception points the simulator offers to a fault layer.
+
+    The simulator consults the interceptor (its ``faults`` parameter) at
+    every transport decision; the default implementation is a transparent
+    pass-through, so the class doubles as the specification of fault-free
+    behaviour.  :class:`repro.faults.FaultInjector` is the real
+    implementation; keeping the interface here lets the sim layer stay
+    ignorant of fault *policies* while owning the mechanics.
+
+    All hooks receive the simulator so they can read virtual time
+    (``sim.steps``) -- fault windows are expressed in executed steps, the
+    only clock the asynchronous model has.
+    """
+
+    def copies(self, sim: "Simulator", src: Hashable, dst: Hashable, message: Any) -> int:
+        """How many copies of a just-sent message enter the channel.
+
+        ``1`` is faithful delivery, ``0`` loses the message, ``k >= 2``
+        duplicates it.  The sender is charged for exactly one send either
+        way (it *did* send; the network misbehaved).
+        """
+        return 1
+
+    def deliver_action(self, sim: "Simulator", token: DeliverToken) -> str:
+        """Fate of a pending delivery: :data:`DELIVER` it now, :data:`DROP`
+        it (consume the message, never run the handler -- e.g. the receiver
+        crashed), or :data:`DEFER` it (re-enqueue the token; an adversarial
+        delay burst)."""
+        return DELIVER
+
+    def wake_allowed(self, sim: "Simulator", node: Hashable) -> bool:
+        """Whether a spontaneous wake-up may run (``False`` for crashed nodes)."""
+        return True
+
+    def timer_allowed(self, sim: "Simulator", token: TimerToken) -> bool:
+        """Whether a due timer may fire (``False`` for crashed nodes)."""
+        return True
 
 
 class SimulationError(RuntimeError):
@@ -96,6 +143,11 @@ class SimNode:
     def on_message(self, sender: Hashable, message: Any) -> None:
         raise NotImplementedError
 
+    def on_timer(self, tag: Hashable) -> None:  # pragma: no cover - default
+        """Called when a timer armed via :meth:`Simulator.schedule_timer`
+        fires.  Only transport-layer wrappers (``repro.faults.reliable``)
+        use timers; the paper's protocol nodes have no clocks."""
+
 
 class Simulator:
     """Asynchronous reliable-FIFO message-passing system.
@@ -110,6 +162,16 @@ class Simulator:
     keep_trace:
         Record every executed step in :attr:`trace` (costs memory; default
         off).
+    faults:
+        A :class:`ChannelInterceptor` (typically a
+        :class:`repro.faults.FaultInjector`) consulted at every transport
+        decision; ``None`` is the paper's reliable exactly-once model.
+    duplicate_probability:
+        Back-compat shim: ``duplicate_probability=p`` builds a
+        single-fault :class:`repro.faults.FaultInjector` (seeded with
+        ``channel_seed``, matching the historical RNG stream) behind the
+        scenes.  New code should pass ``faults=`` directly; the two are
+        mutually exclusive.
     """
 
     def __init__(
@@ -121,6 +183,7 @@ class Simulator:
         channel_discipline: str = "fifo",
         channel_seed: int = 0,
         duplicate_probability: float = 0.0,
+        faults: Optional[ChannelInterceptor] = None,
     ) -> None:
         if id_bits < 1:
             raise ValueError(f"id_bits must be >= 1, got {id_bits}")
@@ -133,6 +196,11 @@ class Simulator:
             raise ValueError(
                 f"duplicate_probability must be in [0, 1], "
                 f"got {duplicate_probability}"
+            )
+        if duplicate_probability > 0.0 and faults is not None:
+            raise ValueError(
+                "pass either faults= or the legacy duplicate_probability=, "
+                "not both (fold duplication into the FaultPlan instead)"
             )
         # Explicit None check: schedulers define __len__, so an empty one is
         # falsy and ``scheduler or default`` would silently discard it.
@@ -151,11 +219,19 @@ class Simulator:
         #: message from the channel instead of the oldest.
         self.channel_discipline = channel_discipline
         self._channel_rng = _random.Random(channel_seed)
-        #: fault injection: probability that a sent message is delivered
-        #: twice.  The model assumes reliable exactly-once delivery; this
-        #: knob exists to *demonstrate* that assumption is load-bearing
-        #: (finding F7) -- unlike FIFO order (finding F6), which is not.
+        self._cancelled_timers = 0
+        #: legacy knob, kept for introspection; the behaviour now lives in
+        #: the fault layer (finding F7: exactly-once delivery is
+        #: load-bearing, unlike FIFO order, finding F6).
         self.duplicate_probability = duplicate_probability
+        if duplicate_probability > 0.0:
+            # Imported here: repro.faults imports this module at load time.
+            from repro.faults.plan import FaultInjector, FaultPlan
+
+            faults = FaultInjector(
+                FaultPlan(duplicate=duplicate_probability), seed=channel_seed
+            )
+        self.faults = faults
 
     # ------------------------------------------------------------------
     # Topology
@@ -180,7 +256,13 @@ class Simulator:
     # Transport
     # ------------------------------------------------------------------
     def transmit(self, src: Hashable, dst: Hashable, message: Any) -> None:
-        """Enqueue a message; charged to stats immediately (it was *sent*)."""
+        """Enqueue a message; charged to stats immediately (it was *sent*).
+
+        With a fault interceptor attached, the network may enqueue zero
+        copies (loss, partition) or several (duplication); the sender is
+        charged exactly once regardless, and send observers fire once per
+        ``transmit`` call -- they observe *sends*, not deliveries.
+        """
         if dst not in self.nodes:
             raise KeyError(f"message to unknown node {dst!r} from {src!r}")
         msg_type = getattr(message, "msg_type", None)
@@ -188,17 +270,12 @@ class Simulator:
             raise TypeError(f"message {message!r} lacks a msg_type")
         bits = message.bit_size(self.id_bits)
         self.stats.record(msg_type, bits)
-        channel = self._channels.setdefault((src, dst), deque())
-        channel.append(message)
-        self.scheduler.push(DeliverToken(src, dst))
-        if (
-            self.duplicate_probability > 0.0
-            and self._channel_rng.random() < self.duplicate_probability
-        ):
-            # Fault: the network delivers a second copy (not re-charged to
-            # stats -- the sender sent once).
-            channel.append(message)
-            self.scheduler.push(DeliverToken(src, dst))
+        copies = 1 if self.faults is None else self.faults.copies(self, src, dst, message)
+        if copies > 0:
+            channel = self._channels.setdefault((src, dst), deque())
+            for _ in range(copies):
+                channel.append(message)
+                self.scheduler.push(DeliverToken(src, dst))
         for observer in self._send_observers:
             observer(src, dst, message)
 
@@ -210,40 +287,76 @@ class Simulator:
         """Pending messages on one ordered channel (diagnostics)."""
         return len(self._channels.get((src, dst), ()))
 
+    def schedule_timer(
+        self, node_id: Hashable, delay: int, tag: Hashable = None
+    ) -> TimerToken:
+        """Arm a timer firing ``node_id.on_timer(tag)`` after ``delay`` steps.
+
+        Virtual time is the executed-step counter, so ``delay`` means "after
+        at least this many further atomic steps" -- the only meaningful
+        notion of a timeout in the asynchronous model.  Returns the token;
+        callers keep it to :meth:`~repro.sim.events.TimerToken.cancel`.
+        """
+        if node_id not in self.nodes:
+            raise KeyError(f"timer for unknown node {node_id!r}")
+        if delay < 1:
+            raise ValueError(f"timer delay must be >= 1 step, got {delay}")
+        token = TimerToken(node_id, self.steps + delay, tag)
+        self.scheduler.push(token)
+        return token
+
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     @property
     def is_quiescent(self) -> bool:
-        return len(self.scheduler) == 0
+        return len(self.scheduler) - self._cancelled_timers <= 0
 
     def step(self) -> bool:
         """Execute one pending step; return ``False`` when quiescent."""
-        token = self.scheduler.pop(self)
-        if token is None:
-            if len(self.scheduler) > 0:
-                raise StuckExecutionError(
-                    f"{len(self.scheduler)} pending steps but none eligible"
-                )
-            return False
+        while True:
+            token = self.scheduler.pop(self)
+            if token is None:
+                if len(self.scheduler) > 0:
+                    raise StuckExecutionError(
+                        f"{len(self.scheduler)} pending steps but none eligible"
+                    )
+                return False
+            if isinstance(token, TimerToken) and token.cancelled:
+                # Cancelled timers are garbage-collected for free: no step
+                # charged, so a retransmit timer acked in time leaves no
+                # trace in the accounting.
+                self._cancelled_timers = max(0, self._cancelled_timers - 1)
+                continue
+            break
         self.steps += 1
         if isinstance(token, WakeToken):
             self._execute_wake(token)
+        elif isinstance(token, TimerToken):
+            self._execute_timer(token)
         else:
             self._execute_deliver(token)
         return True
 
+    def cancel_timer(self, token: TimerToken) -> None:
+        """Cancel a pending timer; the eventual pop is dropped for free."""
+        if not token.cancelled:
+            token.cancel()
+            self._cancelled_timers += 1
+
     def run(self, max_steps: Optional[int] = None) -> int:
         """Run to quiescence; return the number of steps executed.
 
-        Raises :class:`StepLimitExceeded` if ``max_steps`` new steps did not
-        reach quiescence -- the guard that turns a protocol livelock into a
-        test failure instead of a hang.
+        Raises :class:`StepLimitExceeded` if quiescence needs more than
+        ``max_steps`` steps -- the guard that turns a protocol livelock into
+        a test failure instead of a hang.  At most ``max_steps`` steps
+        execute before the limit trips (the historical behaviour allowed one
+        extra step).
         """
         executed = 0
         while self.step():
             executed += 1
-            if max_steps is not None and executed > max_steps:
+            if max_steps is not None and executed >= max_steps and not self.is_quiescent:
                 raise StepLimitExceeded(
                     f"no quiescence within {max_steps} steps; "
                     f"{self.in_flight()} messages still in flight"
@@ -254,6 +367,9 @@ class Simulator:
     # Internals
     # ------------------------------------------------------------------
     def _execute_wake(self, token: WakeToken) -> None:
+        if self.faults is not None and not self.faults.wake_allowed(self, token.node):
+            self._record(TraceEvent(self.steps, "wake-noop", None, token.node, None))
+            return
         node = self.nodes[token.node]
         if node.awake:
             self._record(TraceEvent(self.steps, "wake-noop", None, token.node, None))
@@ -262,18 +378,38 @@ class Simulator:
         self._record(TraceEvent(self.steps, "wake", None, token.node, None))
         node.on_wake()
 
+    def _execute_timer(self, token: TimerToken) -> None:
+        if self.steps < token.due:
+            # Not due yet: re-enqueue.  The step just charged guarantees the
+            # virtual clock advances, so the due step is always reached.
+            self.scheduler.push(token)
+            return
+        if self.faults is not None and not self.faults.timer_allowed(self, token):
+            return
+        self.nodes[token.node].on_timer(token.tag)
+
     def _execute_deliver(self, token: DeliverToken) -> None:
         channel = self._channels.get((token.src, token.dst))
         if not channel:
             raise SimulationError(
                 f"deliver token for empty channel {token.src!r} -> {token.dst!r}"
             )
-        if self.channel_discipline == "fifo" or len(channel) == 1:
-            message = channel.popleft()
-        else:
-            index = self._channel_rng.randrange(len(channel))
-            message = channel[index]
-            del channel[index]
+        if self.faults is not None:
+            action = self.faults.deliver_action(self, token)
+            if action == DEFER:
+                # Adversarial delay: hold the delivery, keep the message in
+                # the channel.  The charged step advances virtual time, so
+                # every delay window expires.
+                self.scheduler.push(token)
+                return
+            if action == DROP:
+                # Crash-stop receiver: the message is consumed by the
+                # network but no handler runs.
+                self._pop_channel_message(channel)
+                return
+            if action != DELIVER:
+                raise SimulationError(f"bad interceptor verdict {action!r}")
+        message = self._pop_channel_message(channel)
         node = self.nodes[token.dst]
         if not node.awake:
             # Messages wake sleeping nodes (Section 1.2): initialize first.
@@ -290,6 +426,15 @@ class Simulator:
             )
         )
         node.on_message(token.src, message)
+
+    def _pop_channel_message(self, channel: Deque[Any]) -> Any:
+        """Take the next message off a channel per the delivery discipline."""
+        if self.channel_discipline == "fifo" or len(channel) == 1:
+            return channel.popleft()
+        index = self._channel_rng.randrange(len(channel))
+        message = channel[index]
+        del channel[index]
+        return message
 
     def _record(self, event: TraceEvent) -> None:
         if self.trace is not None:

@@ -1,5 +1,5 @@
 """Synchronous round-based execution model for the baselines."""
 
-from repro.sync.engine import RoundLimitExceeded, SyncNode, SyncSimulator
+from repro.sync.engine import RoundFaults, RoundLimitExceeded, SyncNode, SyncSimulator
 
-__all__ = ["SyncNode", "SyncSimulator", "RoundLimitExceeded"]
+__all__ = ["SyncNode", "SyncSimulator", "RoundFaults", "RoundLimitExceeded"]

@@ -11,13 +11,14 @@ accounting interface as the asynchronous simulator, so comparison tables
 
 from __future__ import annotations
 
+from random import Random
 from typing import Any, Dict, Hashable, Iterable, List, Optional, Tuple
 
 from repro.sim.trace import MessageStats
 
 NodeId = Hashable
 
-__all__ = ["SyncNode", "SyncSimulator", "RoundLimitExceeded"]
+__all__ = ["SyncNode", "SyncSimulator", "RoundFaults", "RoundLimitExceeded"]
 
 
 class RoundLimitExceeded(RuntimeError):
@@ -42,6 +43,41 @@ class SyncNode:
         raise NotImplementedError
 
 
+class RoundFaults:
+    """Seeded channel faults for the synchronous engine.
+
+    The round-based analogue of the asynchronous
+    :class:`~repro.faults.FaultInjector`, restricted to the faults that
+    make sense in a lock-step model: independent message loss and
+    transient partitions whose windows are measured in *rounds*.
+    ``partitions`` accepts any objects with a ``severs(src, dst, round_no)``
+    predicate -- :class:`repro.faults.PartitionSpec` qualifies (its step
+    windows are reinterpreted as round windows), and the sync engine stays
+    import-independent of the faults package.
+
+    As in the asynchronous simulator, the sender is charged for a dropped
+    message (it paid to send it); only the delivery is suppressed.
+    """
+
+    def __init__(self, *, loss: float = 0.0, partitions: Iterable[Any] = (), seed: int = 0) -> None:
+        if not 0.0 <= loss < 1.0:
+            raise ValueError(f"loss must be in [0, 1), got {loss}")
+        self.loss = loss
+        self.partitions = tuple(partitions)
+        self._rng = Random(seed)
+        self.dropped = 0
+
+    def drops(self, src: NodeId, dst: NodeId, round_no: int) -> bool:
+        for partition in self.partitions:
+            if partition.severs(src, dst, round_no):
+                self.dropped += 1
+                return True
+        if self.loss > 0.0 and self._rng.random() < self.loss:
+            self.dropped += 1
+            return True
+        return False
+
+
 class SyncSimulator:
     """Run :class:`SyncNode` instances in lock-step rounds.
 
@@ -49,12 +85,19 @@ class SyncSimulator:
     ----------
     id_bits:
         Bits charged per node id, as in the asynchronous simulator.
+    faults:
+        Optional :class:`RoundFaults`; dropped messages are charged to the
+        sender but never delivered.  A lossy run that stops converging
+        raises :class:`RoundLimitExceeded` -- the synchronous algorithms
+        have no recovery layer, which is exactly what the fault tests
+        document.
     """
 
-    def __init__(self, *, id_bits: int = 32) -> None:
+    def __init__(self, *, id_bits: int = 32, faults: Optional[RoundFaults] = None) -> None:
         self.nodes: Dict[NodeId, SyncNode] = {}
         self.stats = MessageStats()
         self.id_bits = id_bits
+        self.faults = faults
         self.rounds = 0
         self._mailboxes: Dict[NodeId, List[Tuple[NodeId, Any]]] = {}
 
@@ -82,8 +125,12 @@ class SyncSimulator:
                 if dst not in self.nodes:
                     raise KeyError(f"{node_id!r} sent to unknown node {dst!r}")
                 self.stats.record(message.msg_type, message.bit_size(self.id_bits))
-                self._mailboxes[dst].append((node_id, message))
                 sent += 1
+                if self.faults is not None and self.faults.drops(
+                    node_id, dst, self.rounds
+                ):
+                    continue
+                self._mailboxes[dst].append((node_id, message))
         return sent
 
     def run(self, max_rounds: int = 100_000) -> int:

@@ -1,0 +1,143 @@
+"""Loss and partition/heal behaviour across the baseline algorithms.
+
+The baselines have no recovery layer, so this file documents how each one
+meets channel faults: the gossip-style protocols (name-dropper, swamping)
+are self-healing because they re-send until their completeness goal; the
+handshake-style cluster mergers (KPV-style, Law-Siu) deadlock loudly; the
+asynchronous ones either stall loudly or quiesce with a partial (but
+well-formed) answer.  Nothing may corrupt silently, and a fault-free
+injector must be a byte-identical no-op.
+"""
+
+import pytest
+
+from repro.baselines import (
+    run_flooding,
+    run_kpv_style,
+    run_law_siu,
+    run_name_dropper,
+    run_swamping,
+)
+from repro.baselines.kp_async import run_kp_async
+from repro.baselines.pointer_jump import run_pointer_jump
+from repro.baselines.strong_election import run_strong_election
+from repro.faults import FaultInjector, FaultPlan, PartitionSpec
+from repro.graphs.generators import (
+    random_strongly_connected,
+    random_weakly_connected,
+)
+from repro.sync.engine import RoundFaults
+
+
+@pytest.fixture
+def graph():
+    return random_weakly_connected(24, 24, seed=2)
+
+
+@pytest.fixture
+def strong_graph():
+    return random_strongly_connected(16, 16, seed=1)
+
+
+class TestFaultFreeInjectorIsIdentity:
+    def test_sync_baselines(self, graph):
+        for runner in (run_flooding, run_swamping, run_kpv_style):
+            clean = runner(graph)
+            shadowed = runner(graph, faults=RoundFaults())
+            assert shadowed.leaders == clean.leaders
+            assert shadowed.rounds == clean.rounds
+            assert shadowed.stats.total_messages == clean.stats.total_messages
+
+    def test_async_baselines(self, graph):
+        clean = run_kp_async(graph, seed=0)
+        shadowed = run_kp_async(graph, seed=0, faults=FaultInjector(FaultPlan()))
+        assert shadowed.leaders == clean.leaders
+        assert shadowed.stats.total_messages == clean.stats.total_messages
+
+
+class TestSelfHealingGossip:
+    def test_name_dropper_completes_under_loss(self, graph):
+        clean = run_name_dropper(graph, seed=0)
+        lossy = run_name_dropper(graph, seed=0, faults=RoundFaults(loss=0.3, seed=1))
+        # The run loop re-sends until the completeness goal, so loss costs
+        # rounds, never correctness.
+        assert lossy.leaders == clean.leaders
+        assert lossy.rounds >= clean.rounds
+
+    def test_swamping_completes_under_loss(self, graph):
+        clean = run_swamping(graph)
+        lossy = run_swamping(graph, faults=RoundFaults(loss=0.3, seed=1))
+        assert lossy.leaders == clean.leaders
+        assert lossy.rounds >= clean.rounds
+
+    def test_swamping_rides_out_a_healed_partition(self, graph):
+        faults = RoundFaults(
+            partitions=[PartitionSpec(frozenset(range(6)), start=2, heal=6)]
+        )
+        clean = run_swamping(graph)
+        parted = run_swamping(graph, faults=faults)
+        assert parted.leaders == clean.leaders
+        assert parted.rounds >= clean.rounds
+        assert faults.dropped > 0
+
+    def test_partition_window_after_convergence_is_a_noop(self, graph):
+        clean = run_flooding(graph)
+        faults = RoundFaults(
+            partitions=[
+                PartitionSpec(frozenset(range(6)), start=clean.rounds + 100, heal=10**6)
+            ]
+        )
+        late = run_flooding(graph, faults=faults)
+        assert late.leaders == clean.leaders
+        assert late.rounds == clean.rounds
+        assert faults.dropped == 0
+
+
+class TestHandshakeProtocolsFailLoud:
+    @pytest.mark.parametrize("runner", [run_kpv_style, run_law_siu])
+    def test_cluster_merge_never_corrupts_under_loss(self, graph, runner):
+        # A lost handshake can deadlock the merge dance.  The acceptable
+        # outcomes are completion or a loud budget error -- never a quiet
+        # wrong answer (resolve() would raise on a broken pointer forest).
+        try:
+            result = runner(graph, max_rounds=500, faults=RoundFaults(loss=0.2, seed=1))
+        except RuntimeError:
+            return
+        assert result.leaders
+        assert set(result.leader_of) == set(graph.nodes)
+
+    def test_pointer_jump_under_loss(self, strong_graph):
+        try:
+            result = run_pointer_jump(
+                strong_graph, seed=0, max_rounds=300, faults=RoundFaults(loss=0.2, seed=1)
+            )
+        except RuntimeError:
+            return
+        assert len(result.leaders) == 1
+
+
+class TestAsyncBaselinesUnderInjection:
+    def test_strong_election_loses_its_token_loudly(self, strong_graph):
+        # The single-initiator traversal has exactly one token in flight;
+        # losing it must surface as an error, not a silent partial answer.
+        with pytest.raises(RuntimeError):
+            run_strong_election(
+                strong_graph, faults=FaultInjector(FaultPlan(loss=0.2), seed=1)
+            )
+
+    def test_kp_async_quiesces_with_partial_clusters(self, graph):
+        result = run_kp_async(
+            graph, seed=0, faults=FaultInjector(FaultPlan(loss=0.2), seed=1)
+        )
+        # Degraded (more clusters than the fault-free single leader) but
+        # structurally sound: every node resolves to some leader.
+        assert result.leaders
+        assert set(result.leader_of) == set(graph.nodes)
+        assert all(result.leader_of[l] == l for l in result.leaders)
+
+    def test_round_faults_charges_sender_for_drops(self, graph):
+        faults = RoundFaults(loss=0.4, seed=3)
+        lossy = run_name_dropper(graph, seed=0, faults=faults)
+        assert faults.dropped > 0
+        # Dropped messages were still paid for by the sender.
+        assert lossy.stats.total_messages > 0

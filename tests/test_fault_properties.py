@@ -1,0 +1,101 @@
+"""Property-style chaos: safety must survive *any* seeded fault plan.
+
+The contract under test is the PR's central robustness claim: whatever a
+:class:`FaultPlan` does -- lose, duplicate, crash, partition, delay, in any
+combination -- the discovery protocols may stall or give partial answers
+(liveness degrades), but the stepwise invariants I1-I4 and the at-rest
+safety checks hold on every seed.  ``violated`` is the one outcome that
+must never appear.
+"""
+
+import random
+
+import pytest
+
+from repro.faults import (
+    CrashSpec,
+    DelayBurst,
+    FaultPlan,
+    PartitionSpec,
+    run_chaos_trial,
+)
+from repro.verification.degradation import OUTCOME_VIOLATED
+
+N = 14  # graph size the plans are generated against (sparse-random family)
+
+
+def arbitrary_plan(seed: int) -> FaultPlan:
+    """A random-but-replayable fault plan over the n=N node id space."""
+    rng = random.Random(seed)
+    node_ids = list(range(N))
+    crashes = ()
+    if rng.random() < 0.5:
+        victims = rng.sample(node_ids, k=rng.randint(1, 2))
+        crashes = tuple(
+            CrashSpec(node, at_step=rng.randint(0, 200)) for node in victims
+        )
+    partitions = ()
+    if rng.random() < 0.5:
+        island = frozenset(rng.sample(node_ids, k=rng.randint(1, N // 2)))
+        start = rng.randint(0, 50)
+        partitions = (
+            PartitionSpec(island, start=start, heal=start + rng.randint(1, 150)),
+        )
+    delays = ()
+    if rng.random() < 0.5:
+        delays = (
+            DelayBurst(
+                start=rng.randint(0, 50),
+                duration=rng.randint(1, 100),
+                fraction=rng.choice([0.5, 1.0]),
+            ),
+        )
+    return FaultPlan(
+        loss=rng.choice([0.0, 0.05, 0.15, 0.30]),
+        duplicate=rng.choice([0.0, 0.10, 0.30]),
+        crashes=crashes,
+        partitions=partitions,
+        delays=delays,
+    )
+
+
+class TestSafetyUnderArbitraryPlans:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_raw_generic_never_violates_safety(self, seed):
+        trial = run_chaos_trial(
+            arbitrary_plan(seed), "generic", n=N, seed=seed,
+            reliable=False, budget_factor=2,
+        )
+        assert trial.outcome != OUTCOME_VIOLATED, trial.detail
+        assert trial.safety_ok, trial.detail
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_reliable_generic_never_violates_safety(self, seed):
+        trial = run_chaos_trial(
+            arbitrary_plan(seed), "generic", n=N, seed=seed,
+            reliable=True, budget_factor=4,
+        )
+        assert trial.outcome != OUTCOME_VIOLATED, trial.detail
+        assert trial.safety_ok, trial.detail
+
+    @pytest.mark.parametrize("variant", ["bounded", "adhoc"])
+    @pytest.mark.parametrize("seed", range(4))
+    def test_other_variants_never_violate_safety(self, variant, seed):
+        trial = run_chaos_trial(
+            arbitrary_plan(seed), variant, n=N, seed=seed,
+            reliable=False, budget_factor=2,
+        )
+        assert trial.outcome != OUTCOME_VIOLATED, trial.detail
+        assert trial.safety_ok, trial.detail
+
+    def test_liveness_does_degrade_somewhere(self):
+        # Sanity check on the generator: the plans are actually hostile --
+        # at least one raw run fails to come out clean.
+        outcomes = {
+            run_chaos_trial(
+                arbitrary_plan(seed), "generic", n=N, seed=seed,
+                reliable=False, budget_factor=2,
+            ).outcome
+            for seed in range(12)
+        }
+        assert outcomes - {"ok"}, "every arbitrary plan ran clean; generator too tame"

@@ -1,0 +1,213 @@
+"""The ack/retransmit transport restores exactly-once FIFO over chaos."""
+
+import pytest
+
+from repro.faults import (
+    CrashSpec,
+    FaultInjector,
+    FaultPlan,
+    ReliableNode,
+    retransmission_overhead,
+    transport_totals,
+)
+from repro.sim.network import SimNode, SimulationError, Simulator
+from repro.sim.scheduler import RandomScheduler
+from repro.sim.trace import bits_for_ids
+
+
+class Ping:
+    msg_type = "ping"
+
+    def __init__(self, tag):
+        self.tag = tag
+
+    def bit_size(self, id_bits):
+        return bits_for_ids(1, id_bits)
+
+
+class Burst(SimNode):
+    """Sends ``count`` tagged pings to ``target`` on wake-up."""
+
+    def __init__(self, node_id, target, count):
+        super().__init__(node_id)
+        self.target = target
+        self.count = count
+
+    def on_wake(self):
+        for i in range(self.count):
+            self.send(self.target, Ping(i))
+
+    def on_message(self, sender, message):
+        pass
+
+
+class Sink(SimNode):
+    def __init__(self, node_id):
+        super().__init__(node_id)
+        self.received = []
+
+    def on_wake(self):
+        pass
+
+    def on_message(self, sender, message):
+        self.received.append((sender, message.tag))
+
+
+def run_burst(
+    count=20,
+    *,
+    loss=0.0,
+    duplicate=0.0,
+    crashes=(),
+    channel_discipline="fifo",
+    seed=0,
+    base_timeout=16,
+    max_retries=6,
+):
+    plan = FaultPlan(loss=loss, duplicate=duplicate, crashes=crashes)
+    injector = FaultInjector(plan, seed=seed)
+    sim = Simulator(
+        RandomScheduler(seed),
+        faults=injector,
+        channel_discipline=channel_discipline,
+        channel_seed=seed,
+    )
+    sender = ReliableNode(
+        Burst("a", "b", count), base_timeout=base_timeout, max_retries=max_retries
+    )
+    receiver = ReliableNode(
+        Sink("b"), base_timeout=base_timeout, max_retries=max_retries
+    )
+    sim.add_node(sender)
+    sim.add_node(receiver)
+    sim.schedule_wake("a")
+    sim.schedule_wake("b")
+    sim.run()
+    return sim, sender, receiver
+
+
+class TestExactlyOnceFifo:
+    def test_clean_channel(self):
+        sim, sender, receiver = run_burst(20)
+        assert receiver.inner.received == [("a", i) for i in range(20)]
+        assert sender.outstanding_total == 0
+
+    def test_heavy_loss(self):
+        sim, sender, receiver = run_burst(20, loss=0.4, seed=2)
+        assert receiver.inner.received == [("a", i) for i in range(20)]
+        assert sender.retransmissions > 0
+
+    def test_heavy_duplication(self):
+        sim, sender, receiver = run_burst(20, duplicate=0.5, seed=3)
+        assert receiver.inner.received == [("a", i) for i in range(20)]
+        assert receiver.duplicates_discarded > 0
+
+    def test_reordering_channels(self):
+        # channel_discipline="random" delivers each channel out of order;
+        # the transport's reorder buffer must restore sequence order.
+        sim, sender, receiver = run_burst(
+            20, channel_discipline="random", seed=4
+        )
+        assert receiver.inner.received == [("a", i) for i in range(20)]
+        assert receiver.reordered_buffered > 0
+
+    def test_loss_duplication_and_reordering_together(self):
+        sim, sender, receiver = run_burst(
+            30, loss=0.25, duplicate=0.25, channel_discipline="random", seed=5
+        )
+        assert receiver.inner.received == [("a", i) for i in range(30)]
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_many_seeds(self, seed):
+        sim, sender, receiver = run_burst(
+            15, loss=0.3, duplicate=0.2, channel_discipline="random", seed=seed
+        )
+        assert receiver.inner.received == [("a", i) for i in range(15)]
+
+
+class TestOverheadAccounting:
+    def test_first_copies_keep_payload_type(self):
+        sim, sender, receiver = run_burst(20, loss=0.3, seed=1)
+        # Every payload is charged exactly once under its own type; the
+        # price of reliability sits in rt-retrans / rt-ack.
+        assert sim.stats.messages("ping") == 20
+        overhead = retransmission_overhead(sim.stats)
+        assert overhead["protocol_messages"] == 20
+        assert overhead["overhead_messages"] > 0
+        assert (
+            overhead["overhead_messages"] + overhead["protocol_messages"]
+            == sim.stats.total_messages
+        )
+
+    def test_clean_channel_overhead_is_acks_only(self):
+        sim, sender, receiver = run_burst(10)
+        assert sim.stats.messages("rt-retrans") == sender.retransmissions
+        assert sim.stats.messages("rt-ack") == 10
+        assert sender.retransmissions == 0
+
+    def test_transport_totals_aggregates(self):
+        sim, sender, receiver = run_burst(20, loss=0.4, seed=2)
+        totals = transport_totals({"a": sender, "b": receiver})
+        assert totals["retransmissions"] == sender.retransmissions
+        assert totals["undeliverable"] == 0
+
+
+class TestGiveUp:
+    def test_crashed_peer_gives_up_and_quiesces(self):
+        sim, sender, receiver = run_burst(
+            5,
+            crashes=(CrashSpec("b", at_step=0),),
+            base_timeout=4,
+            max_retries=2,
+        )
+        # The run returned, so the system quiesced despite the dead peer.
+        assert sim.is_quiescent
+        assert receiver.inner.received == []
+        undeliverable_tags = [msg.tag for dst, msg in sender.undeliverable]
+        assert undeliverable_tags == list(range(5))
+        assert sender.outstanding_total == 0
+        assert sender.retransmissions == 2 * 5  # max_retries rounds of go-back-N
+
+
+class TestWiring:
+    def test_wrapping_a_bound_node_is_rejected(self):
+        sim = Simulator()
+        inner = Sink("x")
+        sim.add_node(inner)
+        with pytest.raises(SimulationError):
+            ReliableNode(inner)
+
+    def test_self_send_is_rejected(self):
+        sim = Simulator()
+        node = ReliableNode(Burst("a", "a", 1))
+        sim.add_node(node)
+        sim.schedule_wake("a")
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_raw_message_to_wrapped_node_is_rejected(self):
+        sim = Simulator()
+        wrapped = ReliableNode(Sink("b"))
+        raw = Burst("a", "b", 1)
+        sim.add_node(wrapped)
+        sim.add_node(raw)
+        sim.schedule_wake("a")
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            ReliableNode(Sink("a"), base_timeout=0)
+        with pytest.raises(ValueError):
+            ReliableNode(Sink("b"), max_retries=-1)
+        with pytest.raises(ValueError):
+            ReliableNode(Sink("c"), backoff=0.5)
+
+    def test_inner_sim_facade_forwards(self):
+        sim = Simulator()
+        node = ReliableNode(Sink("a"))
+        sim.add_node(node)
+        # Protocol code reading its environment through self.sim must see
+        # the real simulator's attributes.
+        assert node.inner.sim.id_bits == sim.id_bits
+        assert node.inner.sim.stats is sim.stats

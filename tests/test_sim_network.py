@@ -225,3 +225,91 @@ class TestTraceAndObservers:
     def test_id_bits_validation(self):
         with pytest.raises(ValueError):
             Simulator(id_bits=0)
+
+
+class TimerRecorder(SimNode):
+    """Records timer firings with the step they fired at."""
+
+    def __init__(self, node_id):
+        super().__init__(node_id)
+        self.fired = []
+
+    def on_wake(self):
+        pass
+
+    def on_timer(self, tag):
+        self.fired.append((self.sim.steps, tag))
+
+
+class TestStepBudget:
+    def test_budget_equal_to_run_length_is_enough(self):
+        """Pin the off-by-one: ``max_steps=k`` must admit a k-step run."""
+        sim, a, b = make_pair()
+        sim.schedule_wake("a")
+        needed = sim.run()
+        sim2, a2, b2 = make_pair()
+        sim2.schedule_wake("a")
+        assert sim2.run(max_steps=needed) == needed
+
+    def test_budget_is_never_overrun(self):
+        """The limit is the number of steps actually executed, exactly."""
+        sim = Simulator()
+        a = Recorder("a", forward_to="b")
+        b = Recorder("b", forward_to="a")
+        sim.add_node(a)
+        sim.add_node(b)
+        a.awake = b.awake = True
+        a.send("b", Ping())
+        with pytest.raises(StepLimitExceeded):
+            sim.run(max_steps=50)
+        assert sim.steps == 50
+
+
+class TestTimers:
+    def test_timer_fires_at_or_after_due_step(self):
+        sim = Simulator()
+        node = TimerRecorder("t")
+        sim.add_node(node)
+        token = sim.schedule_timer("t", 5, tag="tick")
+        sim.run()
+        assert node.fired and node.fired[0][1] == "tick"
+        assert node.fired[0][0] >= token.due
+
+    def test_not_yet_due_timer_charges_steps_until_due(self):
+        # A timer is the only pending token: popping it early must still
+        # advance the clock, so the due step is always reached (no livelock).
+        sim = Simulator()
+        node = TimerRecorder("t")
+        sim.add_node(node)
+        sim.schedule_timer("t", 7)
+        executed = sim.run()
+        assert executed >= 7
+        assert len(node.fired) == 1
+
+    def test_cancelled_timer_never_fires_and_quiesces(self):
+        sim = Simulator()
+        node = TimerRecorder("t")
+        sim.add_node(node)
+        token = sim.schedule_timer("t", 5)
+        sim.cancel_timer(token)
+        assert sim.is_quiescent
+        sim.run()
+        assert node.fired == []
+        assert sim.is_quiescent
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        node = TimerRecorder("t")
+        sim.add_node(node)
+        token = sim.schedule_timer("t", 5)
+        sim.cancel_timer(token)
+        sim.cancel_timer(token)
+        assert sim.is_quiescent
+
+    def test_timer_validation(self):
+        sim = Simulator()
+        sim.add_node(TimerRecorder("t"))
+        with pytest.raises(ValueError):
+            sim.schedule_timer("t", 0)
+        with pytest.raises(KeyError):
+            sim.schedule_timer("ghost", 1)
