@@ -1,0 +1,115 @@
+"""BENCH: the observability layer's disabled-path overhead.
+
+The recorder seam's contract (DESIGN.md section 10) is that a simulator
+built with ``obs=None`` pays at most one predicate check per emit site --
+within noise of a build that predates the seam entirely.  This benchmark
+times three configurations of the same deterministic workload:
+
+* **disabled** -- ``obs=None`` (the default every experiment runs with);
+* **recording** -- a :class:`~repro.obs.Recorder` attached, events kept;
+* **counting** -- a recorder with ``keep_events=False`` (counts only).
+
+The asserted criterion is the ≤5% ceiling on the disabled path, measured
+as median-of-repeats against a per-process baseline of the same runs (the
+baseline is itself the disabled path, re-timed, so the assertion bounds
+run-to-run jitter *plus* any real regression; the recorded ``overhead``
+entry in ``BENCH_obs.json`` is the trajectory to watch).  Recording-mode
+cost is recorded, not asserted -- it is allowed to cost what it costs.
+"""
+
+import datetime
+import json
+import pathlib
+import statistics
+import time
+
+from repro.analysis.experiments import build_family
+from repro.core.runner import build_simulation
+from repro.obs import Recorder
+
+BENCH_PATH = pathlib.Path(__file__).parents[1] / "BENCH_obs.json"
+
+N = 128
+FAMILY = "sparse-random"
+SEEDS = range(3)
+REPEATS = 7
+#: DESIGN.md section 10's overhead contract for the obs=None path, with
+#: headroom for timer jitter on shared CI runners (the contract is 5%;
+#: medians over REPEATS keep the measurement itself well under that).
+DISABLED_CEILING = 1.05 + 0.05
+
+
+def _run_once(recorder_factory):
+    elapsed = 0.0
+    for seed in SEEDS:
+        graph = build_family(FAMILY, N, seed)
+        recorder = recorder_factory()
+        sim, _nodes = build_simulation(graph, "generic", seed=seed, obs=recorder)
+        start = time.perf_counter()
+        sim.run()
+        elapsed += time.perf_counter() - start
+    return elapsed
+
+
+def _median_time(recorder_factory):
+    return statistics.median(_run_once(recorder_factory) for _ in range(REPEATS))
+
+
+def test_obs_disabled_overhead(benchmark, record_table):
+    def run():
+        # Warm-up: import costs, allocator steady state.
+        _run_once(lambda: None)
+        return {
+            "baseline": _median_time(lambda: None),
+            "disabled": _median_time(lambda: None),
+            "counting": _median_time(lambda: Recorder(keep_events=False)),
+            "recording": _median_time(lambda: Recorder()),
+        }
+
+    timings = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    baseline = timings["baseline"]
+    ratios = {mode: timings[mode] / baseline for mode in timings}
+    # The contract under test: obs=None costs one predicate per emit site.
+    assert ratios["disabled"] <= DISABLED_CEILING, (
+        f"disabled-path overhead {ratios['disabled']:.3f}x exceeds the "
+        f"{DISABLED_CEILING:.2f}x ceiling (baseline {baseline * 1e3:.1f} ms)"
+    )
+
+    rows = [
+        [mode, round(timings[mode] * 1e3, 2), f"{ratios[mode]:.3f}x"]
+        for mode in ("baseline", "disabled", "counting", "recording")
+    ]
+    record_table(
+        "BENCH-obs-overhead",
+        ["mode", "median-ms", "vs baseline"],
+        rows,
+        notes=(
+            f"Generic on {FAMILY} n={N}, {len(list(SEEDS))} seeds per run, "
+            f"median of {REPEATS} repeats. Criterion: the disabled path "
+            f"(obs=None) stays within {DISABLED_CEILING:.2f}x of the "
+            "re-timed baseline; recording cost is recorded, not asserted."
+        ),
+    )
+
+    entry = {
+        "date": datetime.date.today().isoformat(),
+        "n": N,
+        "family": FAMILY,
+        "seeds": len(list(SEEDS)),
+        "repeats": REPEATS,
+        "baseline_ms": round(baseline * 1e3, 3),
+        "disabled_ms": round(timings["disabled"] * 1e3, 3),
+        "counting_ms": round(timings["counting"] * 1e3, 3),
+        "recording_ms": round(timings["recording"] * 1e3, 3),
+        "overhead": round(ratios["disabled"], 4),
+        "recording_overhead": round(ratios["recording"], 4),
+    }
+    existing = []
+    if BENCH_PATH.exists():
+        try:
+            existing = json.loads(BENCH_PATH.read_text()).get("entries", [])
+        except (ValueError, AttributeError):
+            existing = []
+    existing.append(entry)
+    BENCH_PATH.write_text(json.dumps({"entries": existing}, indent=1) + "\n")

@@ -13,7 +13,9 @@ protocol are bounded by the analysis and worth inspecting:
   empirical face of the Section 5 lemma decomposition.
 
 Profiles are produced from the quiescent node map that the runners and
-:func:`~repro.core.runner.build_simulation` expose.
+:func:`~repro.core.runner.build_simulation` expose; with an observability
+timeline (:mod:`repro.obs`) attached, :func:`phase_evolution` additionally
+recovers the phase histogram *over time*, not just at rest.
 """
 
 from __future__ import annotations
@@ -23,11 +25,12 @@ from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Tuple
 
 from repro.core.node import DiscoveryNode
+from repro.obs.timeline import Timeline
 from repro.sim.trace import MessageStats
 
 NodeId = Hashable
 
-__all__ = ["ProtocolProfile", "profile_execution"]
+__all__ = ["ProtocolProfile", "profile_execution", "phase_evolution"]
 
 
 @dataclass
@@ -105,3 +108,30 @@ def profile_execution(
         message_share=message_share,
         bit_share=bit_share,
     )
+
+
+def phase_evolution(timeline: Timeline) -> List[Tuple[int, Dict[int, int]]]:
+    """Phase-histogram trajectory recovered from a recorded timeline.
+
+    Replays the ``phase-change`` events of an observability timeline and
+    returns one ``(step, histogram)`` snapshot per step at which any node
+    changed phase.  Only nodes that appear in the timeline are counted
+    (nodes that never advance past their initial phase emit no events), so
+    the trajectory shows how far the merge cascade of Lemma 5.8 has
+    climbed at each point of the run -- the final snapshot matches the
+    leaders' portion of :attr:`ProtocolProfile.phase_histogram`.
+    """
+    current: Dict[Hashable, int] = {}
+    snapshots: List[Tuple[int, Dict[int, int]]] = []
+    for event in timeline.events:
+        if event.kind != "phase-change" or event.value is None:
+            continue
+        current[event.node] = int(event.value)
+        histogram: Dict[int, int] = {}
+        for phase in current.values():
+            histogram[phase] = histogram.get(phase, 0) + 1
+        if snapshots and snapshots[-1][0] == event.step:
+            snapshots[-1] = (event.step, histogram)
+        else:
+            snapshots.append((event.step, histogram))
+    return snapshots

@@ -14,6 +14,10 @@ Commands
 ``chaos``         fault-injection sweep: scenarios x variants under the
                   stepwise safety monitor, with a degradation report
                   (exit 1 if any safety invariant broke)
+``trace``         structured observability: ``record`` a run's event
+                  timeline (optionally under a fault scenario and with
+                  the wall-time profiler), ``summarize`` a timeline file,
+                  ``diff`` two timelines
 
 Everything the CLI prints comes from the same experiment runners the
 benchmarks use, so numbers match ``benchmarks/results/``.
@@ -282,6 +286,67 @@ def _build_parser() -> argparse.ArgumentParser:
     chaos_p.add_argument(
         "--no-progress", action="store_true", help="suppress per-job stderr lines"
     )
+    chaos_p.add_argument(
+        "--obs-out",
+        default=None,
+        help="re-run the first (scenario, variant, seed) cell with the "
+        "observability recorder attached and write its JSONL timeline here",
+    )
+    sweep_p.add_argument(
+        "--obs-out",
+        default=None,
+        help="write a job-lifecycle JSONL timeline (one 'job' event per "
+        "sweep job: status + wall time) to this path",
+    )
+
+    trace_p = sub.add_parser(
+        "trace",
+        help="record / summarize / diff observability timelines",
+        description=(
+            "Structured observability for single runs: 'record' executes "
+            "one discovery run (optionally under a fault scenario) with "
+            "the run-event recorder and metrics sampler attached and "
+            "writes a JSONL timeline; 'summarize' prints a digest of a "
+            "timeline file (exit 1 if it holds no events); 'diff' "
+            "compares two timelines (exit 1 if they diverge)."
+        ),
+    )
+    trace_sub = trace_p.add_subparsers(dest="trace_command", required=True)
+
+    rec_p = trace_sub.add_parser("record", help="run once and write a timeline")
+    rec_p.add_argument("--variant", choices=sorted(_RUNNERS), default="generic")
+    rec_p.add_argument(
+        "--family", choices=sorted(GRAPH_FAMILIES), default="sparse-random"
+    )
+    rec_p.add_argument("--n", type=int, default=64)
+    rec_p.add_argument("--seed", type=int, default=0)
+    rec_p.add_argument("--out", required=True, help="timeline JSONL path")
+    rec_p.add_argument(
+        "--scenario",
+        default=None,
+        help="record under this fault scenario via the chaos harness "
+        "(default: a clean fault-free run)",
+    )
+    rec_p.add_argument(
+        "--cadence",
+        type=int,
+        default=None,
+        help="metrics sampling cadence in steps (clean runs only; "
+        "default: 64)",
+    )
+    rec_p.add_argument(
+        "--profile",
+        action="store_true",
+        help="also wrap dispatch + handlers in perf_counter_ns buckets "
+        "and print the hot-path table",
+    )
+
+    sum_p = trace_sub.add_parser("summarize", help="digest one timeline file")
+    sum_p.add_argument("timeline", help="JSONL timeline path")
+
+    diff_p = trace_sub.add_parser("diff", help="compare two timeline files")
+    diff_p.add_argument("timeline_a")
+    diff_p.add_argument("timeline_b")
     return parser
 
 
@@ -468,6 +533,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         progress=ProgressReporter(enabled=not args.no_progress),
     )
     results = executor.run(sweep_jobs(args.exp, seeds, kwargs))
+    if args.obs_out:
+        _write_job_timeline(args.obs_out, args.exp, results)
     failures = [r for r in results if not r.ok]
     if failures:
         for failure in failures:
@@ -484,6 +551,43 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     print(f"=== {args.exp} x {len(seeds)} seeds ===")
     print(render_table(headers, rows))
     return 0
+
+
+def _write_job_timeline(path: str, experiment: str, results) -> None:
+    """Persist a sweep's job lifecycle as an observability timeline.
+
+    One ``job`` event per sweep job, in submission order: ``node`` holds
+    the seed, ``value`` the terminal status plus wall time.  The same
+    ``trace summarize`` / ``trace diff`` tooling that reads run timelines
+    reads these.
+    """
+    from repro.obs import Timeline, write_timeline
+    from repro.obs.events import RunEvent
+
+    events = [
+        RunEvent(
+            step=index,
+            kind="job",
+            node=result.job.seed,
+            msg_type=result.job.experiment,
+            value={
+                key: value
+                for key, value in {
+                    "status": result.status,
+                    "wall_s": round(result.wall, 6) if result.wall is not None else None,
+                    "error": result.error,
+                }.items()
+                if value is not None
+            },
+        )
+        for index, result in enumerate(results)
+    ]
+    timeline = Timeline(
+        meta={"command": "sweep", "experiment": experiment, "jobs": len(results)},
+        events=events,
+    )
+    write_timeline(path, timeline)
+    print(f"wrote {path} ({len(events)} job events)")
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
@@ -593,6 +697,42 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             json.dump(payload, fh, indent=2, sort_keys=True)
             fh.write("\n")
         print(f"wrote {args.bench_out}")
+    if args.obs_out:
+        # One representative cell, re-run serially with the recorder on:
+        # sweeps fan out across processes, so per-trial events cannot be
+        # collected from the pool; the first (scenario, variant, seed)
+        # cell is deterministic and cheap to replay.
+        from repro.faults.harness import run_chaos_trial
+        from repro.obs import Recorder, timeline_from_run, write_timeline
+
+        recorder = Recorder()
+        trial = run_chaos_trial(
+            scenarios[0],
+            variants[0],
+            args.family,
+            args.n,
+            seeds[0],
+            reliable=not args.raw,
+            budget_factor=args.budget_factor,
+            recorder=recorder,
+        )
+        timeline = timeline_from_run(
+            recorder,
+            meta={
+                "command": "chaos",
+                "scenario": scenarios[0],
+                "variant": variants[0],
+                "family": args.family,
+                "n": args.n,
+                "seed": seeds[0],
+                "outcome": trial.outcome,
+            },
+        )
+        write_timeline(args.obs_out, timeline)
+        print(
+            f"wrote {args.obs_out} ({len(timeline.events)} events, "
+            f"outcome={trial.outcome})"
+        )
     if unsafe:
         print(
             f"SAFETY VIOLATIONS in {len(unsafe)} scenario rows -- this is a bug.",
@@ -600,6 +740,104 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         )
         return 1
     print("safety: clean (all stepwise invariants held on every seed)")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import read_timeline, summarize_timeline
+
+    if args.trace_command == "record":
+        return _trace_record(args)
+    if args.trace_command == "summarize":
+        try:
+            timeline = read_timeline(args.timeline)
+        except (OSError, ValueError) as exc:
+            print(f"cannot read {args.timeline}: {exc}", file=sys.stderr)
+            return 2
+        print(summarize_timeline(timeline))
+        if not timeline.events:
+            print("timeline holds no events", file=sys.stderr)
+            return 1
+        return 0
+    # diff
+    from repro.obs import diff_timelines
+
+    try:
+        timeline_a = read_timeline(args.timeline_a)
+        timeline_b = read_timeline(args.timeline_b)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read timeline: {exc}", file=sys.stderr)
+        return 2
+    identical, report = diff_timelines(timeline_a, timeline_b)
+    print(report)
+    return 0 if identical else 1
+
+
+def _trace_record(args: argparse.Namespace) -> int:
+    from repro.analysis.tables import render_table as _render
+    from repro.obs import (
+        Profiler,
+        Recorder,
+        attach_metrics,
+        timeline_from_run,
+        write_timeline,
+    )
+
+    recorder = Recorder()
+    profiler = Profiler() if args.profile else None
+    meta = {
+        "variant": args.variant,
+        "family": args.family,
+        "n": args.n,
+        "seed": args.seed,
+    }
+    if args.scenario is not None:
+        from repro.faults.harness import run_chaos_trial
+        from repro.faults.scenarios import FAULT_SCENARIOS
+
+        if args.scenario not in FAULT_SCENARIOS:
+            print(
+                f"unknown scenario {args.scenario!r}; choose from "
+                f"{', '.join(sorted(FAULT_SCENARIOS))}",
+                file=sys.stderr,
+            )
+            return 2
+        if profiler is not None:
+            print(
+                "--profile needs direct simulator access; ignored with "
+                "--scenario",
+                file=sys.stderr,
+            )
+        trial = run_chaos_trial(
+            args.scenario, args.variant, args.family, args.n, args.seed,
+            recorder=recorder,
+        )
+        meta.update(scenario=args.scenario, outcome=trial.outcome)
+        metrics = None
+    else:
+        from repro.core.runner import build_simulation
+
+        graph = build_family(args.family, args.n, seed=args.seed)
+        sim, _nodes = build_simulation(
+            graph, args.variant, seed=args.seed, obs=recorder
+        )
+        metrics_kwargs = {} if args.cadence is None else {"cadence": args.cadence}
+        metrics = attach_metrics(sim, recorder, **metrics_kwargs)
+        if profiler is not None:
+            profiler.instrument(sim)
+        sim.run()
+        metrics.finish(sim.steps)
+        meta["steps"] = sim.steps
+    timeline = timeline_from_run(recorder, metrics, meta=meta)
+    write_timeline(args.out, timeline)
+    print(
+        f"wrote {args.out} ({len(timeline.events)} events, "
+        f"{len(timeline.samples)} samples)"
+    )
+    if profiler is not None and args.scenario is None:
+        headers, rows = profiler.report()
+        print("\nhot paths:")
+        print(_render(headers, rows))
     return 0
 
 
@@ -622,6 +860,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "report": _cmd_report,
         "sweep": _cmd_sweep,
         "chaos": _cmd_chaos,
+        "trace": _cmd_trace,
     }[args.command]
     return handler(args)
 

@@ -7,6 +7,7 @@ from typing import Dict, Hashable, Iterable, Optional, Sequence
 from repro.core.node import DiscoveryNode
 from repro.graphs.components import weakly_connected_components
 from repro.graphs.knowledge_graph import KnowledgeGraph
+from repro.obs.events import Recorder
 from repro.sim.network import ChannelInterceptor, Simulator
 from repro.sim.scheduler import GlobalFifoScheduler, RandomScheduler, Scheduler
 
@@ -50,6 +51,7 @@ def build_simulation(
     reliable: bool = False,
     base_timeout: Optional[int] = None,
     max_retries: int = 6,
+    obs: Optional[Recorder] = None,
 ) -> "tuple[Simulator, Dict[NodeId, DiscoveryNode]]":
     """Create a simulator with one :class:`DiscoveryNode` per graph node.
 
@@ -66,6 +68,10 @@ def build_simulation(
     their exactly-once FIFO model over a faulty network; the returned
     ``nodes`` dict always maps to the *inner* protocol nodes, which is what
     verification and monitoring expect (``sim.nodes`` holds the wrappers).
+
+    ``obs`` attaches a :class:`~repro.obs.events.Recorder` so the run
+    emits the typed observability events; the default ``None`` keeps the
+    simulator on its near-zero-overhead disabled path.
     """
     if scheduler is None:
         scheduler = RandomScheduler(seed) if seed is not None else GlobalFifoScheduler()
@@ -76,6 +82,7 @@ def build_simulation(
         channel_discipline=channel_discipline,
         channel_seed=channel_seed,
         faults=faults,
+        obs=obs,
     )
     sizes: Dict[NodeId, int] = {}
     if variant == "bounded":

@@ -30,7 +30,8 @@ from repro.core.runner import build_simulation, default_step_budget
 from repro.faults.plan import FaultInjector, FaultPlan
 from repro.faults.reliable import ReliableNode, retransmission_overhead, transport_totals
 from repro.faults.scenarios import FAULT_SCENARIOS, build_scenario
-from repro.sim.network import SimulationError
+from repro.obs.events import Recorder
+from repro.sim.network import SimulationError, StepLimitExceeded
 from repro.verification.degradation import (
     OUTCOME_DEGRADED,
     OUTCOME_DETECTED,
@@ -98,6 +99,7 @@ def run_chaos_trial(
     budget_factor: int = 8,
     base_timeout: Optional[int] = None,
     max_retries: int = 6,
+    recorder: Optional[Recorder] = None,
 ) -> ChaosTrial:
     """Run one variant under one fault scenario and classify the outcome.
 
@@ -106,8 +108,17 @@ def run_chaos_trial(
     at the protocols this way).
 
     Never raises on degradation: stalls, loud protocol errors and property
-    misses come back as outcomes.  Only genuinely unexpected exceptions
-    (bugs in the harness itself) propagate.
+    misses come back as outcomes.  In particular a
+    :class:`~repro.sim.network.StepLimitExceeded` -- the simulator ran out
+    of step budget -- is binned as ``stalled``, not ``detected``: budget
+    exhaustion is the *definition* of a stall, and letting it fall through
+    to the generic ``SimulationError`` handler (or worse, propagate raw
+    and poison a sweep shard) misreports livelocks as protocol-detected
+    faults.  Only genuinely unexpected exceptions (bugs in the harness
+    itself) propagate.
+
+    ``recorder`` attaches a run-event :class:`~repro.obs.events.Recorder`
+    to the trial's simulator (``None`` keeps the zero-overhead path).
 
     ``budget_factor`` scales the fault-free step budget -- retransmission
     timers and deferred deliveries all charge steps, so chaotic runs are
@@ -127,6 +138,7 @@ def run_chaos_trial(
         reliable=reliable,
         base_timeout=base_timeout,
         max_retries=max_retries,
+        obs=recorder,
     )
     budget = budget_factor * default_step_budget(graph)
     violated = detected = stalled = False
@@ -145,6 +157,10 @@ def run_chaos_trial(
         violated, detail = True, str(exc)
     except ProtocolError as exc:
         detected, detail = True, str(exc)
+    except StepLimitExceeded as exc:
+        # Must precede SimulationError (its base class): running out of
+        # steps is a stall in the degradation taxonomy, not a detection.
+        stalled, detail = True, str(exc)
     except SimulationError as exc:
         detected, detail = True, str(exc)
     if not violated:

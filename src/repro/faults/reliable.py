@@ -37,6 +37,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, Hashable, List, Optional, Tuple
 
+from repro.obs.events import RunEvent
 from repro.sim.events import TimerToken
 from repro.sim.network import SimNode, SimulationError, Simulator
 from repro.sim.trace import MessageStats, bits_for_ids
@@ -207,18 +208,39 @@ class ReliableNode(SimNode):
         if not channel.outstanding:
             return  # acked while the timer was in flight
         channel.attempts += 1
+        obs = getattr(self.sim, "obs", None)
         if channel.attempts > self.max_retries:
             # Peer presumed crashed: drop the channel's backlog so the
             # system can quiesce.  Liveness may degrade; safety cannot --
             # a dropped message is indistinguishable from a slow one.
+            if obs is not None:
+                obs.emit(
+                    RunEvent(
+                        self.sim.steps,
+                        "fault-action",
+                        node=self.node_id,
+                        peer=dst,
+                        value=f"give-up x{len(channel.outstanding)}",
+                    )
+                )
             for seq in sorted(channel.outstanding):
                 self.undeliverable.append((dst, channel.outstanding[seq]))
             channel.outstanding.clear()
             return
         for seq in sorted(channel.outstanding):
-            self.sim.transmit(
-                self.node_id, dst, Data(seq, channel.outstanding[seq], retransmit=True)
-            )
+            payload = channel.outstanding[seq]
+            if obs is not None:
+                obs.emit(
+                    RunEvent(
+                        self.sim.steps,
+                        "retransmit",
+                        node=self.node_id,
+                        peer=dst,
+                        msg_type=getattr(payload, "msg_type", "data"),
+                        value=channel.attempts,
+                    )
+                )
+            self.sim.transmit(self.node_id, dst, Data(seq, payload, retransmit=True))
             self.retransmissions += 1
         channel.timeout = int(channel.timeout * self.backoff) or self.base_timeout
         self._arm(dst, channel, reset_backoff=False)

@@ -1,0 +1,67 @@
+"""Structured observability: run events, metrics timelines, profiling.
+
+Everything an execution can tell you about itself flows through one seam,
+the :class:`~repro.obs.events.Recorder`:
+
+* :mod:`repro.obs.events` -- the typed **run-event bus**.  The simulator
+  (and the reliable transport) emit send/deliver/drop/wake/timer/
+  state-transition/phase-change/fault-action/retransmit events through
+  ``Simulator.obs``; with no recorder attached each emit site costs one
+  ``is not None`` predicate check and nothing else.
+* :mod:`repro.obs.metrics` -- counters/gauges/histograms plus the
+  virtual-time sampler that turns them into per-run **time series**
+  (messages-by-type, in-flight backlog, live-node count, per-state node
+  census, phase-histogram evolution).
+* :mod:`repro.obs.profile` -- opt-in ``perf_counter_ns`` **profiling
+  hooks** around the simulator's dispatch and every node handler, reported
+  as a table of hot buckets.
+* :mod:`repro.obs.timeline` -- **JSONL export/import** of a recorded run
+  with a lossless round-trip guarantee, plus summarize/diff used by the
+  ``python -m repro trace`` subcommand.
+
+The overhead contract (benchmarked by ``benchmarks/bench_obs_overhead.py``
+into ``BENCH_obs.json``): with the recorder disabled the instrumented
+simulator stays within 5% of an uninstrumented one.
+"""
+
+from repro.obs.events import EVENT_KINDS, Recorder, RunEvent
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsSample,
+    MetricsTimeline,
+    attach_metrics,
+)
+from repro.obs.profile import Profiler
+from repro.obs.timeline import (
+    TIMELINE_SCHEMA_VERSION,
+    Timeline,
+    diff_timelines,
+    read_timeline,
+    summarize_timeline,
+    timeline_from_run,
+    write_timeline,
+)
+
+__all__ = [
+    "EVENT_KINDS",
+    "RunEvent",
+    "Recorder",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsSample",
+    "MetricsTimeline",
+    "attach_metrics",
+    "Profiler",
+    "TIMELINE_SCHEMA_VERSION",
+    "Timeline",
+    "timeline_from_run",
+    "write_timeline",
+    "read_timeline",
+    "summarize_timeline",
+    "diff_timelines",
+]

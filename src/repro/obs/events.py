@@ -1,0 +1,110 @@
+"""The run-event bus: typed events and the single ``Recorder`` seam.
+
+Every instrumented layer (the asynchronous simulator, the reliable
+transport, the chaos harness) reports what happened through one object.
+The contract has two sides:
+
+* **emitters** guard each emit site with ``if obs is not None`` -- a
+  disabled run pays one predicate check per site and never constructs an
+  event (the overhead contract of ``BENCH_obs.json``);
+* **consumers** either read :attr:`Recorder.events` after the run or
+  subscribe a callback and see events as they happen (that is how the
+  metrics sampler of :mod:`repro.obs.metrics` builds its time series
+  without a second pass).
+
+Events are frozen dataclasses keyed by the virtual-time step at which they
+occurred, so a recorded run is a totally ordered timeline that serializes
+to JSONL (:mod:`repro.obs.timeline`) and replays deterministically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Hashable, Iterator, List, Optional
+
+__all__ = ["EVENT_KINDS", "RunEvent", "Recorder"]
+
+#: The event taxonomy (DESIGN.md section 10).  ``send`` .. ``timer`` are
+#: transport mechanics, ``state-transition``/``phase-change`` are protocol
+#: progress, ``fault-action``/``retransmit`` are the fault layer's doing,
+#: and ``job`` is the sweep engine's job-lifecycle analogue.
+EVENT_KINDS = (
+    "send",
+    "deliver",
+    "drop",
+    "wake",
+    "timer",
+    "state-transition",
+    "phase-change",
+    "fault-action",
+    "retransmit",
+    "job",
+)
+
+
+@dataclass(frozen=True)
+class RunEvent:
+    """One observed occurrence at virtual time ``step``.
+
+    ``node`` is the primary actor (the receiver for deliveries, the sender
+    for sends), ``peer`` the other endpoint when there is one, ``value`` a
+    kind-specific payload: the new phase for ``phase-change``,
+    ``"old->new"`` for ``state-transition``, the fault kind for
+    ``fault-action``, a status dict for ``job`` events.  Values must stay
+    JSON-representable so timelines round-trip losslessly.
+    """
+
+    step: int
+    kind: str
+    node: Optional[Hashable] = None
+    peer: Optional[Hashable] = None
+    msg_type: Optional[str] = None
+    value: Any = None
+
+
+class Recorder:
+    """The seam every instrumented layer reports through.
+
+    Attach one via ``Simulator(obs=...)`` (or ``build_simulation(obs=...)``)
+    and the run fills :attr:`events`; leave it off and the emit sites cost
+    one ``is not None`` check each.  ``keep_events=False`` keeps only the
+    per-kind counters and feeds subscribers -- the memory-flat mode for
+    long sweeps where only sampled metrics are wanted.
+    """
+
+    __slots__ = ("events", "counts", "keep_events", "_subscribers")
+
+    def __init__(self, *, keep_events: bool = True) -> None:
+        self.events: List[RunEvent] = []
+        self.counts: Dict[str, int] = {}
+        self.keep_events = keep_events
+        self._subscribers: List[Callable[[RunEvent], None]] = []
+
+    def subscribe(self, callback: Callable[[RunEvent], None]) -> None:
+        """Invoke ``callback(event)`` on every subsequent emit."""
+        self._subscribers.append(callback)
+
+    def emit(self, event: RunEvent) -> None:
+        """Record one event (the hot path when observability is on)."""
+        self.counts[event.kind] = self.counts.get(event.kind, 0) + 1
+        if self.keep_events:
+            self.events.append(event)
+        for callback in self._subscribers:
+            callback(event)
+
+    # -- inspection -----------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[RunEvent]:
+        return iter(self.events)
+
+    @property
+    def total_events(self) -> int:
+        """Events emitted, whether or not they were kept."""
+        return sum(self.counts.values())
+
+    def of_kind(self, *kinds: str) -> List[RunEvent]:
+        """Kept events matching any of ``kinds``, in emission order."""
+        wanted = set(kinds)
+        return [event for event in self.events if event.kind in wanted]

@@ -1,0 +1,236 @@
+"""JSONL timelines: export, import, summarize, diff.
+
+A *timeline* is the durable form of a recorded run: one JSON object per
+line, first a metadata header, then every run event in emission order,
+then the sampled metrics.  The format is append-friendly, greppable, and
+-- the property the tests pin -- **lossless**: ``read_timeline`` of a
+``write_timeline`` output reproduces the exact event sequence, provided
+event fields are JSON-representable (ints, strings, floats, bools, lists,
+string-keyed dicts; node ids in every shipped graph family are ints).
+
+``python -m repro trace`` is the human face of this module: ``record`` a
+run to a file, ``summarize`` one, ``diff`` two (first divergence plus
+per-kind and per-message-type deltas).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.obs.events import Recorder, RunEvent
+from repro.obs.metrics import MetricsSample, MetricsTimeline
+
+PathLike = Union[str, pathlib.Path]
+
+__all__ = [
+    "TIMELINE_SCHEMA_VERSION",
+    "Timeline",
+    "timeline_from_run",
+    "write_timeline",
+    "read_timeline",
+    "summarize_timeline",
+    "diff_timelines",
+]
+
+#: Bumped when the line format changes shape; readers reject newer files
+#: loudly instead of misparsing them.
+TIMELINE_SCHEMA_VERSION = 1
+
+_EVENT_FIELDS = ("step", "kind", "node", "peer", "msg_type", "value")
+
+
+@dataclass
+class Timeline:
+    """An imported (or about-to-be-exported) run timeline."""
+
+    meta: Dict[str, Any] = field(default_factory=dict)
+    events: List[RunEvent] = field(default_factory=list)
+    samples: List[MetricsSample] = field(default_factory=list)
+
+    @property
+    def steps_spanned(self) -> int:
+        return self.events[-1].step if self.events else 0
+
+    def counts_by_kind(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for event in self.events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return counts
+
+    def messages_by_type(self) -> Dict[str, int]:
+        """Send counts per message type (the traffic-mix view)."""
+        counts: Dict[str, int] = {}
+        for event in self.events:
+            if event.kind == "send" and event.msg_type is not None:
+                counts[event.msg_type] = counts.get(event.msg_type, 0) + 1
+        return counts
+
+
+def timeline_from_run(
+    recorder: Recorder,
+    metrics: Optional[MetricsTimeline] = None,
+    meta: Optional[Dict[str, Any]] = None,
+) -> Timeline:
+    """Package a finished run's recorder (and optional metrics) for export."""
+    return Timeline(
+        meta=dict(meta or {}),
+        events=list(recorder.events),
+        samples=list(metrics.samples) if metrics is not None else [],
+    )
+
+
+def write_timeline(path: PathLike, timeline: Timeline) -> pathlib.Path:
+    """Write one JSONL file; returns the path.
+
+    Line 1 is the header (schema version + caller metadata); ``event``
+    lines carry the six :class:`RunEvent` fields; ``sample`` lines carry a
+    metrics snapshot.  Events keep emission order, which is also step
+    order.
+    """
+    path = pathlib.Path(path)
+    with path.open("w", encoding="utf-8") as fh:
+        header = {
+            "line": "header",
+            "schema": TIMELINE_SCHEMA_VERSION,
+            "meta": timeline.meta,
+        }
+        fh.write(json.dumps(header, sort_keys=True) + "\n")
+        for event in timeline.events:
+            payload: Dict[str, Any] = {"line": "event"}
+            for name in _EVENT_FIELDS:
+                value = getattr(event, name)
+                if value is not None:
+                    payload[name] = value
+            fh.write(json.dumps(payload, sort_keys=True) + "\n")
+        for sample in timeline.samples:
+            fh.write(
+                json.dumps(
+                    {"line": "sample", "step": sample.step, "values": sample.values},
+                    sort_keys=True,
+                )
+                + "\n"
+            )
+    return path
+
+
+def read_timeline(path: PathLike) -> Timeline:
+    """Inverse of :func:`write_timeline` (the round-trip the tests pin)."""
+    path = pathlib.Path(path)
+    timeline = Timeline()
+    with path.open("r", encoding="utf-8") as fh:
+        for line_no, raw in enumerate(fh, start=1):
+            raw = raw.strip()
+            if not raw:
+                continue
+            try:
+                payload = json.loads(raw)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{line_no}: not JSON ({exc})") from None
+            shape = payload.get("line")
+            if shape == "header":
+                schema = payload.get("schema")
+                if schema != TIMELINE_SCHEMA_VERSION:
+                    raise ValueError(
+                        f"{path}: timeline schema {schema!r}, "
+                        f"this reader speaks {TIMELINE_SCHEMA_VERSION}"
+                    )
+                timeline.meta = dict(payload.get("meta", {}))
+            elif shape == "event":
+                timeline.events.append(
+                    RunEvent(**{name: payload.get(name) for name in _EVENT_FIELDS})
+                )
+            elif shape == "sample":
+                timeline.samples.append(
+                    MetricsSample(payload["step"], dict(payload.get("values", {})))
+                )
+            else:
+                raise ValueError(f"{path}:{line_no}: unknown line shape {shape!r}")
+    return timeline
+
+
+def summarize_timeline(timeline: Timeline) -> str:
+    """Human-readable digest: provenance, event mix, traffic, final sample."""
+    lines: List[str] = []
+    meta = ", ".join(f"{k}={v}" for k, v in sorted(timeline.meta.items()))
+    lines.append(f"timeline: {len(timeline.events)} events over "
+                 f"{timeline.steps_spanned} steps" + (f" ({meta})" if meta else ""))
+    counts = timeline.counts_by_kind()
+    if counts:
+        lines.append(
+            "events: "
+            + ", ".join(f"{kind}={count}" for kind, count in sorted(counts.items()))
+        )
+    traffic = timeline.messages_by_type()
+    if traffic:
+        lines.append(
+            "sends by type: "
+            + ", ".join(f"{t}={c}" for t, c in sorted(traffic.items()))
+        )
+    if timeline.samples:
+        last = timeline.samples[-1]
+        flat = {
+            name: value
+            for name, value in sorted(last.values.items())
+            if not isinstance(value, dict)
+        }
+        lines.append(
+            f"final sample @step {last.step}: "
+            + ", ".join(f"{k}={v}" for k, v in flat.items())
+        )
+        census = last.values.get("census")
+        if isinstance(census, dict) and census:
+            lines.append(
+                "final census: "
+                + ", ".join(f"{k}={v}" for k, v in sorted(census.items()))
+            )
+    return "\n".join(lines)
+
+
+def _first_divergence(
+    a: List[RunEvent], b: List[RunEvent]
+) -> Optional[Tuple[int, Optional[RunEvent], Optional[RunEvent]]]:
+    for index in range(max(len(a), len(b))):
+        left = a[index] if index < len(a) else None
+        right = b[index] if index < len(b) else None
+        if left != right:
+            return index, left, right
+    return None
+
+
+def diff_timelines(a: Timeline, b: Timeline) -> Tuple[bool, str]:
+    """Compare two timelines; returns ``(identical, report)``.
+
+    The report names the first diverging event index (the scheduler-level
+    cause) and the per-kind / per-message-type count deltas (the
+    accounting-level effect) -- usually one of the two is the story.
+    """
+    lines: List[str] = []
+    divergence = _first_divergence(a.events, b.events)
+    if divergence is None:
+        lines.append(
+            f"identical: {len(a.events)} events, {a.steps_spanned} steps"
+        )
+        return True, "\n".join(lines)
+    index, left, right = divergence
+    lines.append(
+        f"diverge at event {index} of {len(a.events)}/{len(b.events)}:"
+    )
+    lines.append(f"  a: {left}")
+    lines.append(f"  b: {right}")
+    kinds_a, kinds_b = a.counts_by_kind(), b.counts_by_kind()
+    for kind in sorted(set(kinds_a) | set(kinds_b)):
+        delta = kinds_b.get(kind, 0) - kinds_a.get(kind, 0)
+        if delta:
+            lines.append(f"  {kind}: {kinds_a.get(kind, 0)} -> {kinds_b.get(kind, 0)} ({delta:+d})")
+    traffic_a, traffic_b = a.messages_by_type(), b.messages_by_type()
+    for msg_type in sorted(set(traffic_a) | set(traffic_b)):
+        delta = traffic_b.get(msg_type, 0) - traffic_a.get(msg_type, 0)
+        if delta:
+            lines.append(
+                f"  sends[{msg_type}]: {traffic_a.get(msg_type, 0)} -> "
+                f"{traffic_b.get(msg_type, 0)} ({delta:+d})"
+            )
+    return False, "\n".join(lines)

@@ -15,9 +15,11 @@ sweeps for any worker count.
 
 from __future__ import annotations
 
+import functools
 import hashlib
 import importlib
 import json
+import pathlib
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -25,6 +27,7 @@ __all__ = [
     "CACHE_SCHEMA_VERSION",
     "Job",
     "experiment_name",
+    "protocol_code_digest",
     "resolve_experiment",
     "sweep_jobs",
     "shard_seeds",
@@ -32,7 +35,41 @@ __all__ = [
 
 #: Bumped whenever the record layout or the job spec changes shape, so a
 #: stale on-disk cache can never be mistaken for a fresh result.
-CACHE_SCHEMA_VERSION = 1
+#: Version 2 added the ``code`` digest to :meth:`Job.spec`: before that,
+#: editing the protocol or simulator source silently replayed stale cached
+#: tables computed by the *old* code.
+CACHE_SCHEMA_VERSION = 2
+
+
+def _default_code_roots() -> Tuple[pathlib.Path, ...]:
+    """Directories whose source participates in every job's identity."""
+    package = pathlib.Path(__file__).resolve().parent.parent
+    return (package / "core", package / "sim")
+
+
+@functools.lru_cache(maxsize=None)
+def _digest_of_roots(roots: Tuple[str, ...]) -> str:
+    hasher = hashlib.sha256()
+    for root in roots:
+        root_path = pathlib.Path(root)
+        for path in sorted(root_path.rglob("*.py")):
+            hasher.update(path.name.encode())
+            hasher.update(b"\0")
+            hasher.update(path.read_bytes())
+            hasher.update(b"\0")
+    return hasher.hexdigest()[:16]
+
+
+def protocol_code_digest() -> str:
+    """Digest of the protocol + simulator source trees.
+
+    Folded into :meth:`Job.spec` so cached experiment results are keyed by
+    the *code that produced them*, not just the parameters: touch any file
+    under ``repro/core`` or ``repro/sim`` and every cache entry misses.
+    Memoized per process (a sweep computes thousands of keys); tests that
+    rewrite source trees call ``_digest_of_roots.cache_clear()``.
+    """
+    return _digest_of_roots(tuple(str(root) for root in _default_code_roots()))
 
 
 def _registry() -> Dict[str, Callable]:
@@ -123,6 +160,7 @@ class Job:
         """
         raw = {
             "version": CACHE_SCHEMA_VERSION,
+            "code": protocol_code_digest(),
             "experiment": self.experiment,
             "kwargs": self.kwargs_dict(),
             "seed": self.seed,

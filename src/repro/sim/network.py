@@ -24,9 +24,11 @@ evaluation procedure.
 from __future__ import annotations
 
 import random as _random
+import warnings
 from collections import deque
 from typing import Any, Callable, Deque, Dict, Hashable, List, Optional, Tuple
 
+from repro.obs.events import Recorder, RunEvent
 from repro.sim.events import DeliverToken, TimerToken, Token, WakeToken
 from repro.sim.scheduler import GlobalFifoScheduler, Scheduler
 from repro.sim.trace import ExecutionTrace, MessageStats, TraceEvent
@@ -167,11 +169,18 @@ class Simulator:
         :class:`repro.faults.FaultInjector`) consulted at every transport
         decision; ``None`` is the paper's reliable exactly-once model.
     duplicate_probability:
-        Back-compat shim: ``duplicate_probability=p`` builds a
+        Deprecated back-compat shim: ``duplicate_probability=p`` builds a
         single-fault :class:`repro.faults.FaultInjector` (seeded with
         ``channel_seed``, matching the historical RNG stream) behind the
-        scenes.  New code should pass ``faults=`` directly; the two are
-        mutually exclusive.
+        scenes and emits a :class:`DeprecationWarning`.  New code should
+        pass ``faults=`` directly; the two are mutually exclusive.  The
+        policy lives entirely on the fault layer -- the simulator no
+        longer mirrors the value as an attribute.
+    obs:
+        A :class:`~repro.obs.events.Recorder` receiving the typed run
+        events (send/deliver/drop/wake/timer/state-transition/
+        phase-change/fault-action); ``None`` (the default) disables
+        observability at the cost of one predicate check per emit site.
     """
 
     def __init__(
@@ -184,6 +193,7 @@ class Simulator:
         channel_seed: int = 0,
         duplicate_probability: float = 0.0,
         faults: Optional[ChannelInterceptor] = None,
+        obs: Optional[Recorder] = None,
     ) -> None:
         if id_bits < 1:
             raise ValueError(f"id_bits must be >= 1, got {id_bits}")
@@ -220,11 +230,19 @@ class Simulator:
         self.channel_discipline = channel_discipline
         self._channel_rng = _random.Random(channel_seed)
         self._cancelled_timers = 0
-        #: legacy knob, kept for introspection; the behaviour now lives in
-        #: the fault layer (finding F7: exactly-once delivery is
-        #: load-bearing, unlike FIFO order, finding F6).
-        self.duplicate_probability = duplicate_probability
+        #: the Recorder seam; ``None`` keeps every emit site at one check.
+        self.obs = obs
         if duplicate_probability > 0.0:
+            # The legacy knob became a fault policy in the interceptor
+            # seam (finding F7); the shim keeps old call sites running but
+            # the simulator deliberately does NOT mirror the value as an
+            # attribute -- policy state lives on the fault layer only.
+            warnings.warn(
+                "Simulator(duplicate_probability=...) is deprecated; pass "
+                "faults=FaultInjector(FaultPlan(duplicate=...)) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
             # Imported here: repro.faults imports this module at load time.
             from repro.faults.plan import FaultInjector, FaultPlan
 
@@ -276,6 +294,32 @@ class Simulator:
             for _ in range(copies):
                 channel.append(message)
                 self.scheduler.push(DeliverToken(src, dst))
+        if self.obs is not None:
+            self.obs.emit(
+                RunEvent(self.steps, "send", node=src, peer=dst, msg_type=msg_type)
+            )
+            if copies == 0:
+                self.obs.emit(
+                    RunEvent(
+                        self.steps,
+                        "drop",
+                        node=dst,
+                        peer=src,
+                        msg_type=msg_type,
+                        value="channel",
+                    )
+                )
+            elif copies > 1:
+                self.obs.emit(
+                    RunEvent(
+                        self.steps,
+                        "fault-action",
+                        node=dst,
+                        peer=src,
+                        msg_type=msg_type,
+                        value=f"duplicate x{copies}",
+                    )
+                )
         for observer in self._send_observers:
             observer(src, dst, message)
 
@@ -369,6 +413,15 @@ class Simulator:
     def _execute_wake(self, token: WakeToken) -> None:
         if self.faults is not None and not self.faults.wake_allowed(self, token.node):
             self._record(TraceEvent(self.steps, "wake-noop", None, token.node, None))
+            if self.obs is not None:
+                self.obs.emit(
+                    RunEvent(
+                        self.steps,
+                        "fault-action",
+                        node=token.node,
+                        value="wake-suppressed",
+                    )
+                )
             return
         node = self.nodes[token.node]
         if node.awake:
@@ -376,7 +429,12 @@ class Simulator:
             return
         node.awake = True
         self._record(TraceEvent(self.steps, "wake", None, token.node, None))
+        before = self._observed_state(node) if self.obs is not None else None
+        if self.obs is not None:
+            self.obs.emit(RunEvent(self.steps, "wake", node=token.node))
         node.on_wake()
+        if before is not None:
+            self._emit_state_changes(token.node, node, before)
 
     def _execute_timer(self, token: TimerToken) -> None:
         if self.steps < token.due:
@@ -385,7 +443,18 @@ class Simulator:
             self.scheduler.push(token)
             return
         if self.faults is not None and not self.faults.timer_allowed(self, token):
+            if self.obs is not None:
+                self.obs.emit(
+                    RunEvent(
+                        self.steps,
+                        "fault-action",
+                        node=token.node,
+                        value="timer-suppressed",
+                    )
+                )
             return
+        if self.obs is not None:
+            self.obs.emit(RunEvent(self.steps, "timer", node=token.node))
         self.nodes[token.node].on_timer(token.tag)
 
     def _execute_deliver(self, token: DeliverToken) -> None:
@@ -401,20 +470,44 @@ class Simulator:
                 # the channel.  The charged step advances virtual time, so
                 # every delay window expires.
                 self.scheduler.push(token)
+                if self.obs is not None:
+                    self.obs.emit(
+                        RunEvent(
+                            self.steps,
+                            "fault-action",
+                            node=token.dst,
+                            peer=token.src,
+                            value="defer",
+                        )
+                    )
                 return
             if action == DROP:
                 # Crash-stop receiver: the message is consumed by the
                 # network but no handler runs.
-                self._pop_channel_message(channel)
+                dropped = self._pop_channel_message(channel)
+                if self.obs is not None:
+                    self.obs.emit(
+                        RunEvent(
+                            self.steps,
+                            "drop",
+                            node=token.dst,
+                            peer=token.src,
+                            msg_type=getattr(dropped, "msg_type", None),
+                            value="crashed-receiver",
+                        )
+                    )
                 return
             if action != DELIVER:
                 raise SimulationError(f"bad interceptor verdict {action!r}")
         message = self._pop_channel_message(channel)
         node = self.nodes[token.dst]
+        before = self._observed_state(node) if self.obs is not None else None
         if not node.awake:
             # Messages wake sleeping nodes (Section 1.2): initialize first.
             node.awake = True
             self._record(TraceEvent(self.steps, "wake", None, token.dst, None))
+            if self.obs is not None:
+                self.obs.emit(RunEvent(self.steps, "wake", node=token.dst))
             node.on_wake()
         self._record(
             TraceEvent(
@@ -423,9 +516,22 @@ class Simulator:
                 token.src,
                 token.dst,
                 getattr(message, "msg_type", None),
+                detail=message,
             )
         )
+        if self.obs is not None:
+            self.obs.emit(
+                RunEvent(
+                    self.steps,
+                    "deliver",
+                    node=token.dst,
+                    peer=token.src,
+                    msg_type=getattr(message, "msg_type", None),
+                )
+            )
         node.on_message(token.src, message)
+        if before is not None:
+            self._emit_state_changes(token.dst, node, before)
 
     def _pop_channel_message(self, channel: Deque[Any]) -> Any:
         """Take the next message off a channel per the delivery discipline."""
@@ -439,3 +545,37 @@ class Simulator:
     def _record(self, event: TraceEvent) -> None:
         if self.trace is not None:
             self.trace.append(event)
+
+    # ------------------------------------------------------------------
+    # Observability (only reached with a recorder attached)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _observed_state(node: SimNode) -> Tuple[Optional[str], Optional[int]]:
+        """Protocol-visible (status, phase) of a node, looking through
+        transport wrappers (``ReliableNode.inner``)."""
+        target = getattr(node, "inner", node)
+        return (getattr(target, "status", None), getattr(target, "phase", None))
+
+    def _emit_state_changes(
+        self,
+        node_id: Hashable,
+        node: SimNode,
+        before: Tuple[Optional[str], Optional[int]],
+    ) -> None:
+        """Diff a node's observable state around a handler and emit
+        ``state-transition`` / ``phase-change`` events for what moved."""
+        status, phase = self._observed_state(node)
+        old_status, old_phase = before
+        if status != old_status:
+            self.obs.emit(
+                RunEvent(
+                    self.steps,
+                    "state-transition",
+                    node=node_id,
+                    value=f"{old_status}->{status}",
+                )
+            )
+        if phase != old_phase:
+            self.obs.emit(
+                RunEvent(self.steps, "phase-change", node=node_id, value=phase)
+            )

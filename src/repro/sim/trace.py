@@ -13,10 +13,18 @@ simulator charges that at send time with ``id_bits = ceil(log2 n)``.
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
 from dataclasses import dataclass, field
 from typing import Any, Dict, Hashable, List, Optional, Tuple
 
-__all__ = ["MessageStats", "TraceEvent", "ExecutionTrace", "bits_for_ids"]
+__all__ = [
+    "MessageStats",
+    "TraceEvent",
+    "ExecutionTrace",
+    "bits_for_ids",
+    "payload_digest",
+]
 
 #: Constant header charge per message (type tag + framing), in bits.  The
 #: asymptotic analysis only needs it to be Theta(1).
@@ -25,8 +33,49 @@ HEADER_BITS = 8
 
 def bits_for_ids(n_ids: int, id_bits: int, *, extra_ints: int = 0) -> int:
     """Standard message cost: ``n_ids`` node ids, ``extra_ints`` counters
-    (each an O(log n)-bit integer), plus the constant header."""
-    return HEADER_BITS + (n_ids + extra_ints) * id_bits
+    (each an O(log n)-bit integer), plus the constant header.
+
+    ``id_bits`` is clamped to at least 1: an id always occupies a bit on
+    the wire, even in the degenerate ``n = 1`` system where
+    ``ceil(log2 n) = 0`` -- without the clamp every message would be
+    charged header-only bits and the bit-complexity tables would silently
+    undercount at tiny ``n`` (the :func:`repro.core.runner.id_bits_for`
+    helper applies the same floor at graph-build time).
+    """
+    return HEADER_BITS + (n_ids + extra_ints) * max(1, id_bits)
+
+
+def _canonical(value: Any) -> str:
+    """Deterministic rendering for digests: unordered collections are
+    sorted, dataclasses render field-by-field, so the result is stable
+    across processes and hash-randomization seeds (plain ``repr`` of a
+    frozenset is not)."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fields = ",".join(
+            f"{f.name}={_canonical(getattr(value, f.name))}"
+            for f in dataclasses.fields(value)
+        )
+        return f"{type(value).__name__}({fields})"
+    if isinstance(value, (set, frozenset)):
+        return "{" + ",".join(sorted(_canonical(v) for v in value)) + "}"
+    if isinstance(value, dict):
+        items = sorted(f"{_canonical(k)}:{_canonical(v)}" for k, v in value.items())
+        return "{" + ",".join(items) + "}"
+    if isinstance(value, (list, tuple)):
+        return "[" + ",".join(_canonical(v) for v in value) + "]"
+    return repr(value)
+
+
+def payload_digest(message: Any) -> str:
+    """Stable short digest of a message's type and full payload.
+
+    This is what distinguishes two deliveries that agree on every envelope
+    field (step, channel, ``msg_type``) but carry different content --
+    exactly the difference :meth:`ExecutionTrace.fingerprint` must see for
+    determinism tests to mean anything.
+    """
+    rendered = f"{getattr(message, 'msg_type', None)}|{_canonical(message)}"
+    return hashlib.sha256(rendered.encode()).hexdigest()[:16]
 
 
 @dataclass
@@ -96,7 +145,14 @@ class MessageStats:
 
 @dataclass(frozen=True)
 class TraceEvent:
-    """One delivered message or wake-up in an execution trace."""
+    """One delivered message or wake-up in an execution trace.
+
+    ``detail`` carries the delivered message object (``None`` for
+    wake-ups); it participates in :meth:`as_tuple` as a stable content
+    digest, so fingerprints distinguish executions that differ only in
+    message payloads -- the regression behind this: envelope-only tuples
+    let payload-corrupting bugs pass determinism tests vacuously.
+    """
 
     step: int
     kind: str  # "deliver" or "wake"
@@ -106,7 +162,8 @@ class TraceEvent:
     detail: Any = None
 
     def as_tuple(self) -> Tuple:
-        return (self.step, self.kind, self.src, self.dst, self.msg_type)
+        digest = None if self.detail is None else payload_digest(self.detail)
+        return (self.step, self.kind, self.src, self.dst, self.msg_type, digest)
 
 
 class ExecutionTrace:

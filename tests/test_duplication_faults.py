@@ -11,6 +11,12 @@ is not load-bearing, channel *multiplicity* is.
 
 import pytest
 
+# These tests deliberately drive the deprecated duplicate_probability shim
+# (its own deprecation contract is pinned in test_obs_regressions).
+pytestmark = pytest.mark.filterwarnings(
+    "ignore:Simulator.duplicate_probability.*:DeprecationWarning"
+)
+
 from repro.core.node import DiscoveryNode, ProtocolError
 from repro.core.result import collect_result
 from repro.core.runner import default_step_budget, id_bits_for

@@ -1,0 +1,110 @@
+"""CLI tests for ``repro trace`` and the ``--obs-out`` sweep/chaos flags."""
+
+from repro.cli import main
+from repro.obs import read_timeline
+
+
+class TestTraceRecord:
+    def test_record_then_summarize(self, tmp_path, capsys):
+        out = tmp_path / "run.jsonl"
+        assert main(
+            ["trace", "record", "--n", "24", "--seed", "1", "--out", str(out)]
+        ) == 0
+        assert "wrote" in capsys.readouterr().out
+        assert main(["trace", "summarize", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "timeline:" in text
+        assert "sends by type" in text
+        assert "final sample" in text
+
+    def test_record_with_profile_prints_hot_paths(self, tmp_path, capsys):
+        out = tmp_path / "run.jsonl"
+        assert main(
+            [
+                "trace", "record", "--n", "16", "--out", str(out), "--profile",
+            ]
+        ) == 0
+        text = capsys.readouterr().out
+        assert "hot paths" in text
+        assert "dispatch.deliver" in text
+
+    def test_record_under_scenario(self, tmp_path):
+        out = tmp_path / "chaos.jsonl"
+        assert main(
+            [
+                "trace", "record", "--n", "16", "--scenario", "loss-10",
+                "--out", str(out),
+            ]
+        ) == 0
+        timeline = read_timeline(out)
+        assert timeline.meta["scenario"] == "loss-10"
+        assert timeline.events
+
+    def test_record_rejects_unknown_scenario(self, tmp_path, capsys):
+        assert main(
+            [
+                "trace", "record", "--scenario", "nope",
+                "--out", str(tmp_path / "x.jsonl"),
+            ]
+        ) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+
+class TestTraceSummarize:
+    def test_empty_timeline_exits_1(self, tmp_path, capsys):
+        path = tmp_path / "empty.jsonl"
+        path.write_text('{"line": "header", "schema": 1, "meta": {}}\n')
+        assert main(["trace", "summarize", str(path)]) == 1
+        assert "no events" in capsys.readouterr().err
+
+    def test_missing_file_exits_2(self, tmp_path, capsys):
+        assert main(["trace", "summarize", str(tmp_path / "absent.jsonl")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+
+class TestTraceDiff:
+    def test_identical_and_divergent(self, tmp_path, capsys):
+        a = tmp_path / "a.jsonl"
+        b = tmp_path / "b.jsonl"
+        c = tmp_path / "c.jsonl"
+        for path, seed in ((a, "1"), (b, "1"), (c, "2")):
+            assert main(
+                ["trace", "record", "--n", "16", "--seed", seed, "--out", str(path)]
+            ) == 0
+        capsys.readouterr()
+        assert main(["trace", "diff", str(a), str(b)]) == 0
+        assert "identical" in capsys.readouterr().out
+        assert main(["trace", "diff", str(a), str(c)]) == 1
+        assert "diverge at event" in capsys.readouterr().out
+
+
+class TestObsOutFlags:
+    def test_chaos_obs_out(self, tmp_path, capsys):
+        out = tmp_path / "chaos.jsonl"
+        assert main(
+            [
+                "chaos", "--scenarios", "baseline", "--n", "12",
+                "--seeds", "0:1", "--no-progress", "--obs-out", str(out),
+            ]
+        ) == 0
+        assert f"wrote {out}" in capsys.readouterr().out
+        timeline = read_timeline(out)
+        assert timeline.meta["command"] == "chaos"
+        assert timeline.meta["outcome"]
+        assert timeline.events
+
+    def test_sweep_obs_out_one_job_event_per_seed(self, tmp_path, capsys):
+        out = tmp_path / "jobs.jsonl"
+        assert main(
+            [
+                "sweep", "--exp", "generic-scaling", "--quick",
+                "--seeds", "0:2", "--no-cache", "--no-progress",
+                "--obs-out", str(out),
+            ]
+        ) == 0
+        timeline = read_timeline(out)
+        assert timeline.counts_by_kind() == {"job": 2}
+        assert [event.node for event in timeline.events] == [0, 1]
+        for event in timeline.events:
+            assert event.value["status"] in ("done", "cached")
+            assert event.value["wall_s"] >= 0
