@@ -237,10 +237,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="fault-injection sweep with stepwise safety checks",
         description=(
             "Run discovery variants under named fault scenarios (loss, "
-            "duplication, crash-stop, partitions, delay bursts) with the "
-            "stepwise safety monitor watching every step.  Prints the "
-            "aggregated degradation table; exits 1 if any trial broke a "
-            "safety invariant."
+            "duplication, crash-stop, crash-recovery, partitions, delay "
+            "bursts) with the stepwise safety monitor watching every step.  "
+            "Prints the aggregated degradation table; exits 1 if any trial "
+            "broke a safety invariant.  --recovery selects the "
+            "crash-recovery scenario set (nodes crash mid-run and restart "
+            "from durable checkpoints under a new incarnation epoch)."
         ),
     )
     chaos_p.add_argument(
@@ -271,6 +273,13 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run the protocols bare, without the reliable transport "
         "(measures how the algorithms themselves degrade)",
+    )
+    chaos_p.add_argument(
+        "--recovery",
+        action="store_true",
+        help="run the crash-recovery scenario set (durable checkpoints, "
+        "epoch fencing, rejoin); incompatible with --raw, which lacks the "
+        "transport the recovery model fences through",
     )
     chaos_p.add_argument(
         "--budget-factor",
@@ -595,7 +604,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
 
     from repro.analysis.sweep import aggregate_tables
     from repro.faults.harness import CHAOS_HEADERS
-    from repro.faults.scenarios import FAULT_SCENARIOS
+    from repro.faults.scenarios import FAULT_SCENARIOS, RECOVERY_SCENARIOS
     from repro.parallel import (
         JobFailure,
         ParallelExecutor,
@@ -611,8 +620,24 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     if not seeds:
         print("bad --seeds: no seeds given", file=sys.stderr)
         return 2
+    if args.recovery and args.raw:
+        print(
+            "--recovery and --raw are incompatible: crash-recovery needs "
+            "the reliable transport (epoch fencing lives in ReliableNode)",
+            file=sys.stderr,
+        )
+        return 2
     if args.scenarios.strip() == "all":
-        scenarios = tuple(FAULT_SCENARIOS)
+        if args.recovery:
+            scenarios = tuple(RECOVERY_SCENARIOS)
+        elif args.raw:
+            # Recovery scenarios hard-require the reliable transport, so a
+            # raw sweep over "all" silently narrows to the rest.
+            scenarios = tuple(
+                s for s in FAULT_SCENARIOS if s not in RECOVERY_SCENARIOS
+            )
+        else:
+            scenarios = tuple(FAULT_SCENARIOS)
     else:
         scenarios = tuple(s.strip() for s in args.scenarios.split(",") if s.strip())
         unknown = [s for s in scenarios if s not in FAULT_SCENARIOS]
@@ -623,6 +648,15 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 2
+        if args.raw:
+            needs_transport = [s for s in scenarios if s in RECOVERY_SCENARIOS]
+            if needs_transport:
+                print(
+                    f"scenarios {needs_transport} are crash-recovery "
+                    "scenarios and cannot run with --raw",
+                    file=sys.stderr,
+                )
+                return 2
     variants = tuple(v.strip() for v in args.variants.split(",") if v.strip())
     bad = [v for v in variants if v not in _RUNNERS]
     if not variants or bad:

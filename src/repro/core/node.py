@@ -152,6 +152,19 @@ class DiscoveryNode(SimNode):
         self.probe_previous: Deque[Tuple[Probe, NodeId]] = deque()
         self.probe_results: List[Tuple[NodeId, FrozenSet[NodeId]]] = []
         self._probe_outstanding = False
+        #: set while a crash-recovery rejoin probe is in flight; its reply
+        #: refreshes ``next`` (see :meth:`rejoin`).
+        self._rejoining = False
+        #: set once this node has been restarted from a checkpoint.  A
+        #: restarted node -- and only a restarted node -- tolerates replies
+        #: to conversations its dead incarnation started: the reliable
+        #: transport re-queues a crashed peer's outstanding payloads to the
+        #: new incarnation (to repair half-open handshakes), so messages
+        #: that are *impossible* in the fault-free model legitimately reach
+        #: fresh state here.  Handlers downgrade those specific
+        #: ProtocolErrors to drops or deferrals; every other node keeps the
+        #: strict fail-loud checks.
+        self._restarted = False
 
         self._add_more(node_id)
 
@@ -366,6 +379,14 @@ class DiscoveryNode(SimNode):
 
     def _on_query_reply(self, sender: NodeId, message: QueryReply) -> bool:
         if self.status != "explore" or self._awaiting_query_from != sender:
+            if self._restarted:
+                # Answer to a query the dead incarnation asked: the ids in
+                # it were drained from the member's ``local`` for a
+                # conversation nobody remembers.  Absorb what we can so the
+                # ids are not lost entirely, but do not touch the explore
+                # state machine.
+                self._ingest_query_reply(sender, message)
+                return True
             raise ProtocolError(
                 f"{self.node_id!r}: unexpected query-reply from {sender!r} "
                 f"in status {self.status}"
@@ -380,6 +401,13 @@ class DiscoveryNode(SimNode):
     # ------------------------------------------------------------------
     def _on_query(self, sender: NodeId, message: Query) -> bool:
         if self.status != "inactive":
+            if self._restarted:
+                # The querying leader still thinks we are its member.  Answer
+                # "nothing more" without draining ``local``: the leader can
+                # retire us from its ``more`` set and move on, while this
+                # incarnation keeps (and reports) its own ids.
+                self.send(sender, QueryReply(frozenset(), True))
+                return True
             raise ProtocolError(
                 f"{self.node_id!r}: query from {sender!r} in status {self.status}; "
                 "queries only ever reach inactive cluster members"
@@ -474,6 +502,12 @@ class DiscoveryNode(SimNode):
         if self.status == "inactive":
             self._route_release(message)
             return True
+        if self._restarted:
+            # The dead incarnation was a routing hop for this search; its
+            # ``previous`` queue is gone, so the release cannot be forwarded.
+            # Dropping it strands the initiator (a measured liveness
+            # degradation) instead of crashing the run.
+            return True
         raise ProtocolError(
             f"{self.node_id!r}: release for {message.initiator!r} in "
             f"status {self.status}; only inactive nodes route releases"
@@ -494,11 +528,38 @@ class DiscoveryNode(SimNode):
         if self.status == "wait" and self._awaiting_release:
             self._awaiting_release = False
             if message.answer == ABORT:
+                if message.leader == self.node_id:
+                    # The search walked a pointer chain that led back to us,
+                    # so the abort came from ourselves (the (phase, id)
+                    # tie).  That only happens when crash-recovery churn
+                    # re-circulates an id whose pointer chain already ends
+                    # here; it is an answered search, not a lost duel --
+                    # keep exploring instead of committing leader suicide.
+                    # Deliberately *not* filed as a member: the chain proves
+                    # routing, not ownership, and claiming the target could
+                    # double-own it (I2).  If nobody owns it, the miss
+                    # surfaces as a measured knowledge gap.
+                    self._explore()
+                    return
                 # Figure 4: an aborted leader stops initiating searches.
                 self._absorb_learned_id(message.leader)
                 self.status = "passive"
                 return
             # The reached leader asks to merge into us: become conqueror.
+            self.status = "conqueror"
+            self._awaiting_info = True
+            self.send(message.leader, MergeAccept())
+            return
+        if self._restarted and self.status == "passive" and message.answer == MERGE:
+            # Crash-recovery special case: a restart can shuffle which of
+            # this node's releases (the dead incarnation's, re-queued by the
+            # transport, or the new one's) arrives first, so "passive" may
+            # mean "aborted by a reply meant for the dead incarnation".  A
+            # merge offer is the peer leader saying *I lost, absorb me*;
+            # refusing it here can leave a component with no leader at all.
+            # Passive nodes are owned by nobody, so re-taking leadership to
+            # absorb the loser is safe -- and it is the only answer that
+            # keeps the component live.
             self.status = "conqueror"
             self._awaiting_info = True
             self.send(message.leader, MergeAccept())
@@ -512,6 +573,13 @@ class DiscoveryNode(SimNode):
                 self._expect_stale_release = False
                 self._absorb_learned_id(message.leader)
             return
+        if self._restarted:
+            # Reply to a search the dead incarnation sent: treat it exactly
+            # like the stale-reply case above (refuse merges, keep the id).
+            if message.answer == MERGE:
+                self.send(message.leader, MergeFail())
+            self._absorb_learned_id(message.leader)
+            return
         raise ProtocolError(
             f"{self.node_id!r}: own release ({message.answer}) in "
             f"status {self.status} with awaiting_release={self._awaiting_release}"
@@ -521,6 +589,11 @@ class DiscoveryNode(SimNode):
         """Figure 5: pop the oldest pending search, send the release back
         along its path, path-compress, and launch the next pending search."""
         if not self.previous:
+            if self._restarted:
+                # The routing queue died with the old incarnation; the
+                # stranded initiator is a measured degradation (see
+                # :meth:`_on_release`).
+                return
             raise ProtocolError(
                 f"{self.node_id!r}: release to route but previous queue empty"
             )
@@ -540,6 +613,12 @@ class DiscoveryNode(SimNode):
     # ------------------------------------------------------------------
     def _on_merge_accept(self, sender: NodeId, message: MergeAccept) -> bool:
         if self.status != "conquered":
+            if self._restarted:
+                # Acceptance of a merge the dead incarnation offered.  The
+                # new incarnation no longer has that cluster state to hand
+                # over; there is no refusal message for this direction, so
+                # drop it and let the accepter's horizon expire.
+                return True
             raise ProtocolError(
                 f"{self.node_id!r}: merge-accept in status {self.status}"
             )
@@ -559,6 +638,10 @@ class DiscoveryNode(SimNode):
 
     def _on_merge_fail(self, sender: NodeId, message: MergeFail) -> bool:
         if self.status != "conquered":
+            if self._restarted:
+                # Refusal of a merge the dead incarnation offered; nobody
+                # waits on this reply, so it is safe to ignore.
+                return True
             raise ProtocolError(
                 f"{self.node_id!r}: merge-fail in status {self.status}"
             )
@@ -567,6 +650,26 @@ class DiscoveryNode(SimNode):
 
     def _on_info(self, sender: NodeId, message: Info) -> bool:
         if self.status != "conqueror" or not self._awaiting_info:
+            if self._restarted:
+                # The dead incarnation sent a MergeAccept; the sender has
+                # already gone inactive pointing at us and handed its whole
+                # cluster over.  Refusing the inheritance would orphan every
+                # one of those members, so accept it whenever this node can
+                # act as a leader: from idle ``wait`` or ``passive``,
+                # becoming conqueror restores single ownership (the sender
+                # genuinely transferred it).  Any other state parks the Info
+                # until the node settles.
+                if (self.status == "wait" and not self._awaiting_release) or (
+                    self.status == "passive"
+                ):
+                    self.status = "conqueror"
+                    self._awaiting_info = False
+                    if self.variant == "generic":
+                        self._merge_with_unaware(message)
+                    else:
+                        self._merge_direct(message)
+                    return True
+                return False
             raise ProtocolError(f"{self.node_id!r}: info in status {self.status}")
         self._awaiting_info = False
         if self.variant == "generic":
@@ -619,6 +722,14 @@ class DiscoveryNode(SimNode):
     # ------------------------------------------------------------------
     def _on_conquer(self, sender: NodeId, message: Conquer) -> bool:
         if self.status != "inactive":
+            if self._restarted:
+                # The dead incarnation lost a merge battle this conquest
+                # concludes, but the restart rewound it to an earlier
+                # (possibly leading) state.  Park the conquest: if this
+                # incarnation ends up conquered again it resolves to
+                # inactive and answers then; if it stays a leader the
+                # conqueror's loss is a measured degradation.
+                return False
             raise ProtocolError(
                 f"{self.node_id!r}: conquer in status {self.status}; "
                 "conquer messages only ever reach inactive nodes"
@@ -635,10 +746,20 @@ class DiscoveryNode(SimNode):
             # 2n count includes them); nothing left to do with them.
             return True
         if self.status != "conqueror" or self._awaiting_info:
+            if self._restarted:
+                # Acknowledgement of a conquest the dead incarnation made;
+                # the member stays pointed at us, we just lost its pending
+                # ids (a measured knowledge degradation, never corruption).
+                return True
             raise ProtocolError(
                 f"{self.node_id!r}: more-done in status {self.status}"
             )
         if sender not in self.unaware:
+            if self._restarted:
+                # Rejoin re-broadcasts the conquest, so a member that also
+                # answered the pre-crash copy acks twice; collection is
+                # idempotent and the duplicate is dropped.
+                return True
             raise ProtocolError(
                 f"{self.node_id!r}: more-done from {sender!r} not in unaware"
             )
@@ -705,12 +826,23 @@ class DiscoveryNode(SimNode):
         if message.initiator == self.node_id:
             self.probe_results.append((message.leader, message.ids))
             self._probe_outstanding = False
+            if self._rejoining:
+                # Crash-recovery re-attach: the reply names the component's
+                # current leader, which is exactly the ``next`` pointer a
+                # restarted inactive node needs.
+                self._rejoining = False
+                if self.status == "inactive":
+                    self.next = message.leader
             return True
         if self.status != "inactive":
+            if self._restarted:
+                return True  # probe route died with the old incarnation
             raise ProtocolError(
                 f"{self.node_id!r}: probe-reply to route in status {self.status}"
             )
         if not self.probe_previous:
+            if self._restarted:
+                return True  # probe route died with the old incarnation
             raise ProtocolError(
                 f"{self.node_id!r}: probe-reply but probe queue empty"
             )
@@ -749,6 +881,51 @@ class DiscoveryNode(SimNode):
         self.local.add(other)
         if self.node_id in self.done:
             self._move_done_to_more(self.node_id)
+
+    def rejoin(self) -> None:
+        """Re-enter the protocol after a crash-recovery restart.
+
+        Called by :mod:`repro.faults.recovery` once the node's durable
+        state (the Figure 2 fields) has been restored and its transport
+        restarted under a fresh incarnation epoch.  Every volatile
+        conversation -- outstanding searches, queries, merge handshakes --
+        died with the crash (epoch fencing discards the replies), so each
+        restored status is normalised to a state that makes progress
+        without them:
+
+        * ``explore``/``wait``: re-run the Figure 3 loop -- it re-issues
+          whatever search or query the crash orphaned;
+        * ``conqueror`` with pending ``unaware`` members: re-broadcast the
+          conquest (conquer is idempotent towards inactive nodes -- the
+          phase guard keeps re-conquest safe); with none, back to the loop;
+        * ``conquered``: the merge handshake is dead; demote to passive
+          (exactly where a failed merge leaves a leader).  The conquering
+          leader's own retry logic -- or give-up -- handles its side;
+        * ``inactive``: the ``next`` pointer may name a leader long since
+          conquered; re-probe the component (the Ad-hoc rejoin path) so
+          the reply refreshes ``next``;
+        * ``passive``/``terminated``: nothing outstanding, nothing to do.
+        """
+        if self.status in ("explore", "wait"):
+            self._explore()
+            self._pump()
+        elif self.status == "conqueror":
+            if self.unaware:
+                for w in sorted(self.unaware, key=repr):
+                    self.send(w, Conquer(self.node_id, self.phase))
+            else:
+                self._explore()
+            self._pump()
+        elif self.status == "conquered":
+            self.status = "passive"
+        elif self.status == "inactive" and self.next != self.node_id:
+            self._rejoining = True
+            self._probe_outstanding = True
+            # Route through the normal inbox, exactly like initiate_probe
+            # (bypassing its Ad-hoc guard: the probe plumbing is variant-
+            # agnostic and rejoin needs it everywhere).
+            self._inbox.append((self.node_id, Probe(self.node_id)))
+            self._pump()
 
     def notify_new_link(self, target: NodeId) -> None:
         """A new knowledge edge ``self -> target`` appeared at runtime.

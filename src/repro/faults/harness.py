@@ -2,13 +2,15 @@
 
 One *chaos trial* runs one discovery variant on one graph under one named
 fault scenario, with the stepwise safety monitor watching every step, and
-bins the execution into the five-way outcome taxonomy of
+bins the execution into the outcome taxonomy of
 :mod:`repro.verification.degradation`:
 
-``ok`` / ``degraded`` / ``stalled`` / ``detected`` are all acceptable ways
-for a protocol to meet faults -- the report measures how gracefully each
-variant degrades.  ``violated`` (a stepwise invariant broke, or safety
-failed at rest) is never acceptable under any plan: the chaos sweep's hard
+``ok`` / ``recovered`` / ``degraded`` / ``stalled`` / ``detected`` are all
+acceptable ways for a protocol to meet faults -- the report measures how
+gracefully each variant degrades (``recovered`` is the crash-recovery
+model's best case: full properties despite nodes crashing and restarting
+mid-run).  ``violated`` (a stepwise invariant broke, or safety failed at
+rest) is never acceptable under any plan: the chaos sweep's hard
 assertion, and the CI smoke job's exit code, is ``violations == 0``.
 
 The sweep entry point :func:`exp_chaos` returns a plain ``(headers, rows)``
@@ -28,6 +30,7 @@ from repro.analysis.experiments import build_family
 from repro.core.node import ProtocolError
 from repro.core.runner import build_simulation, default_step_budget
 from repro.faults.plan import FaultInjector, FaultPlan
+from repro.faults.recovery import attach_recovery
 from repro.faults.reliable import ReliableNode, retransmission_overhead, transport_totals
 from repro.faults.scenarios import FAULT_SCENARIOS, build_scenario
 from repro.obs.events import Recorder
@@ -36,6 +39,7 @@ from repro.verification.degradation import (
     OUTCOME_DEGRADED,
     OUTCOME_DETECTED,
     OUTCOME_OK,
+    OUTCOME_RECOVERED,
     OUTCOME_STALLED,
     OUTCOME_VIOLATED,
     SurvivalReport,
@@ -79,6 +83,9 @@ class ChaosTrial:
     retransmissions: int
     undeliverable: int
     faults_injected: int
+    n_recovered: int = 0
+    reconverge_steps: int = 0
+    epoch_fences: int = 0
     fault_counts: Dict[str, int] = field(default_factory=dict)
     detail: str = ""
 
@@ -100,6 +107,7 @@ def run_chaos_trial(
     base_timeout: Optional[int] = None,
     max_retries: int = 6,
     recorder: Optional[Recorder] = None,
+    checkpoint_every: int = 8,
 ) -> ChaosTrial:
     """Run one variant under one fault scenario and classify the outcome.
 
@@ -140,6 +148,12 @@ def run_chaos_trial(
         max_retries=max_retries,
         obs=recorder,
     )
+    if plan.recoveries and not reliable:
+        raise ValueError(
+            "crash-recovery scenarios need reliable=True: epoch fencing "
+            "lives in the ReliableNode transport wrapper"
+        )
+    manager = attach_recovery(sim, injector, checkpoint_every=checkpoint_every)
     budget = budget_factor * default_step_budget(graph)
     violated = detected = stalled = False
     detail = ""
@@ -174,6 +188,11 @@ def run_chaos_trial(
     survival = verify_surviving(
         graph, nodes, sim, variant, injector.crashed_nodes(sim.steps)
     )
+    n_recovered = manager.n_recovered if manager is not None else 0
+    reconverge_steps = 0
+    if manager is not None and quiesced and manager.recovered_at:
+        # Time-to-reconverge: quiescence relative to the *last* restart.
+        reconverge_steps = sim.steps - max(manager.recovered_at.values())
     if violated:
         outcome = OUTCOME_VIOLATED
     elif detected:
@@ -181,7 +200,7 @@ def run_chaos_trial(
     elif stalled:
         outcome = OUTCOME_STALLED
     elif quiesced and survival.properties_ok:
-        outcome = OUTCOME_OK
+        outcome = OUTCOME_RECOVERED if n_recovered else OUTCOME_OK
     else:
         outcome = OUTCOME_DEGRADED
         if not detail:
@@ -196,7 +215,7 @@ def run_chaos_trial(
             }
         )
     else:
-        transport = {"retransmissions": 0, "undeliverable": 0}
+        transport = {"retransmissions": 0, "undeliverable": 0, "epoch_fenced": 0}
     return ChaosTrial(
         scenario=scenario,
         variant=variant,
@@ -217,6 +236,9 @@ def run_chaos_trial(
         retransmissions=transport["retransmissions"],
         undeliverable=transport["undeliverable"],
         faults_injected=injector.total_injected,
+        n_recovered=n_recovered,
+        reconverge_steps=reconverge_steps,
+        epoch_fences=transport["epoch_fenced"],
         fault_counts=dict(injector.counts),
         detail=detail,
     )
@@ -239,6 +261,9 @@ CHAOS_HEADERS = [
     "retrans",
     "undeliv",
     "faults",
+    "recovered",
+    "reconverge",
+    "epoch-fences",
 ]
 
 
@@ -288,6 +313,9 @@ def exp_chaos(
                     trial.retransmissions,
                     trial.undeliverable,
                     trial.faults_injected,
+                    trial.n_recovered,
+                    trial.reconverge_steps,
+                    trial.epoch_fences,
                 ]
             )
     return CHAOS_HEADERS, rows

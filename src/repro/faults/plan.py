@@ -41,6 +41,7 @@ NodeId = Hashable
 
 __all__ = [
     "CrashSpec",
+    "RecoverySpec",
     "PartitionSpec",
     "DelayBurst",
     "FaultPlan",
@@ -59,6 +60,35 @@ class CrashSpec:
     def __post_init__(self) -> None:
         if self.at_step < 0:
             raise ValueError(f"at_step must be >= 0, got {self.at_step}")
+
+
+@dataclass(frozen=True)
+class RecoverySpec:
+    """Crash ``node`` at ``crash_step`` and bring it back at
+    ``recover_step`` under a new incarnation epoch.
+
+    During the down window ``[crash_step, recover_step)`` the node behaves
+    exactly like a crash-stop node: no wake-ups, no deliveries, no timers.
+    At ``recover_step`` it restarts from its latest durable
+    :class:`~repro.faults.recovery.CheckpointStore` snapshot -- or, with
+    ``amnesia=True``, from its initial knowledge (the classic "disk was
+    lost" restart) -- and re-probes for its component's leader.  Epoch
+    fencing in :mod:`repro.faults.reliable` discards the node's pre-crash
+    transport state and any stale in-flight traffic addressed to the old
+    incarnation.
+    """
+
+    node: NodeId
+    crash_step: int
+    recover_step: int
+    amnesia: bool = False
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.crash_step < self.recover_step:
+            raise ValueError(
+                "need 1 <= crash_step < recover_step, got "
+                f"crash_step={self.crash_step} recover_step={self.recover_step}"
+            )
 
 
 @dataclass(frozen=True)
@@ -124,6 +154,7 @@ class FaultPlan:
     crashes: Tuple[CrashSpec, ...] = ()
     partitions: Tuple[PartitionSpec, ...] = ()
     delays: Tuple[DelayBurst, ...] = ()
+    recoveries: Tuple[RecoverySpec, ...] = ()
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.loss < 1.0:
@@ -133,9 +164,19 @@ class FaultPlan:
         object.__setattr__(self, "crashes", tuple(self.crashes))
         object.__setattr__(self, "partitions", tuple(self.partitions))
         object.__setattr__(self, "delays", tuple(self.delays))
+        object.__setattr__(self, "recoveries", tuple(self.recoveries))
         crashed = [spec.node for spec in self.crashes]
         if len(crashed) != len(set(crashed)):
             raise ValueError(f"duplicate crash specs: {crashed}")
+        recovering = [spec.node for spec in self.recoveries]
+        if len(recovering) != len(set(recovering)):
+            raise ValueError(f"duplicate recovery specs: {recovering}")
+        both = set(crashed) & set(recovering)
+        if both:
+            raise ValueError(
+                f"nodes {sorted(both, key=repr)} have both a crash-stop and a "
+                "recovery spec; a node either stays down or comes back"
+            )
 
     @property
     def is_fault_free(self) -> bool:
@@ -145,6 +186,7 @@ class FaultPlan:
             and not self.crashes
             and not self.partitions
             and not self.delays
+            and not self.recoveries
         )
 
     def describe(self) -> str:
@@ -159,6 +201,8 @@ class FaultPlan:
             parts.append(f"partitions={len(self.partitions)}")
         if self.delays:
             parts.append(f"delay-bursts={len(self.delays)}")
+        if self.recoveries:
+            parts.append(f"recoveries={len(self.recoveries)}")
         return "+".join(parts) if parts else "fault-free"
 
 
@@ -167,7 +211,9 @@ class FaultEvent:
     """One injected fault, for post-mortem inspection of a chaotic run."""
 
     step: int
-    kind: str  # "loss" | "duplicate" | "partition-drop" | "crash-drop" | "defer"
+    # "loss" | "duplicate" | "partition-drop" | "crash-drop" | "defer"
+    # | "wake-suppressed" | "timer-suppressed"
+    kind: str
     src: Optional[NodeId]
     dst: Optional[NodeId]
     msg_type: Optional[str] = None
@@ -194,6 +240,10 @@ class FaultInjector(ChannelInterceptor):
         self._crash_at: Dict[NodeId, int] = {
             spec.node: spec.at_step for spec in plan.crashes
         }
+        self._down: Dict[NodeId, Tuple[int, int]] = {
+            spec.node: (spec.crash_step, spec.recover_step)
+            for spec in plan.recoveries
+        }
         self.counts: Dict[str, int] = {
             "loss": 0,
             "duplicate": 0,
@@ -201,16 +251,24 @@ class FaultInjector(ChannelInterceptor):
             "crash-drop": 0,
             "defer": 0,
             "wake-suppressed": 0,
+            "timer-suppressed": 0,
         }
         self.log: List[FaultEvent] = [] if keep_log else _NullLog()
 
     # -- crash bookkeeping ---------------------------------------------
     def crashed(self, node: NodeId, step: int) -> bool:
         at = self._crash_at.get(node)
-        return at is not None and step >= at
+        if at is not None and step >= at:
+            return True
+        window = self._down.get(node)
+        return window is not None and window[0] <= step < window[1]
 
     def crashed_nodes(self, step: int) -> FrozenSet[NodeId]:
-        return frozenset(n for n, at in self._crash_at.items() if step >= at)
+        down = {n for n, at in self._crash_at.items() if step >= at}
+        down.update(
+            n for n, (crash, recover) in self._down.items() if crash <= step < recover
+        )
+        return frozenset(down)
 
     # -- ChannelInterceptor hooks --------------------------------------
     def copies(self, sim: Simulator, src: NodeId, dst: NodeId, message: Any) -> int:
@@ -235,25 +293,33 @@ class FaultInjector(ChannelInterceptor):
 
     def deliver_action(self, sim: Simulator, token: DeliverToken) -> str:
         step = sim.steps
+        # Delivery-time faults act on the head-of-line message of the
+        # token's channel; peek at it so the event log keeps its msg_type
+        # (the obs traffic-mix attribution depends on it).
+        head = sim.channel_peek(token.src, token.dst)
+        msg_type = getattr(head, "msg_type", None)
         if self.crashed(token.dst, step):
-            self._note(step, "crash-drop", token.src, token.dst, None)
+            self._note(step, "crash-drop", token.src, token.dst, msg_type)
             return DROP
         for burst in self.plan.delays:
             if burst.active(step):
                 if burst.fraction >= 1.0 or self._rng.random() < burst.fraction:
-                    self._note(step, "defer", token.src, token.dst, None)
+                    self._note(step, "defer", token.src, token.dst, msg_type)
                     return DEFER
                 break  # rolled and passed; don't re-roll for later bursts
         return DELIVER
 
     def wake_allowed(self, sim: Simulator, node: NodeId) -> bool:
         if self.crashed(node, sim.steps):
-            self.counts["wake-suppressed"] += 1
+            self._note(sim.steps, "wake-suppressed", None, node, None)
             return False
         return True
 
     def timer_allowed(self, sim: Simulator, token: TimerToken) -> bool:
-        return not self.crashed(token.node, sim.steps)
+        if self.crashed(token.node, sim.steps):
+            self._note(sim.steps, "timer-suppressed", None, token.node, None)
+            return False
+        return True
 
     # -- reporting ------------------------------------------------------
     @property

@@ -30,6 +30,22 @@ payload addressed to a crashed peer is eventually dropped.  That is
 unavoidable -- TCP does the same -- and safe here because the discovery
 protocols' *safety* properties tolerate missing messages (they are what a
 slow network already looks like); only liveness degrades.
+
+**Incarnation epochs** (the crash-*recovery* model of
+:mod:`repro.faults.recovery`): every frame carries the sender's epoch and
+the sender's belief of the receiver's epoch.  A node that recovers from a
+crash restarts under a bumped epoch via :meth:`ReliableNode.begin_epoch`,
+which discards all pre-crash transport state.  On receipt, a frame whose
+belief of *my* epoch is stale -- or that originates from a superseded
+incarnation of the sender -- is **fenced**: never processed, so pre-crash
+retransmissions and in-flight stragglers can never leak old sequence
+numbers or duplicate payloads into the new incarnation.  Fencing a live
+but ignorant sender additionally *teaches* it the new epoch via a
+progress-free ack, upon which the sender re-keys its channel and re-queues
+its unacked payloads to the new incarnation -- the repair that lets
+half-open protocol conversations complete across a peer's restart.  The
+steady-state cost is three extra O(log n)-bit integers per frame, charged
+to the frame's own type.
 """
 
 from __future__ import annotations
@@ -63,11 +79,20 @@ OVERHEAD_TYPES = (RT_RETRANS, RT_ACK)
 
 @dataclass(frozen=True)
 class Data:
-    """A protocol payload framed with a per-channel sequence number."""
+    """A protocol payload framed with a per-channel sequence number.
+
+    ``src_epoch`` is the sender's incarnation at transmit time;
+    ``dst_epoch`` is the sender's belief of the receiver's incarnation.
+    Both are 0 for nodes that have never crashed, so the epoch machinery
+    is invisible until a :class:`~repro.faults.plan.RecoverySpec` is in
+    play.
+    """
 
     seq: int
     payload: Any
     retransmit: bool = False
+    src_epoch: int = 0
+    dst_epoch: int = 0
 
     @property
     def msg_type(self) -> str:
@@ -79,8 +104,8 @@ class Data:
         return getattr(self.payload, "msg_type", "data")
 
     def bit_size(self, id_bits: int) -> int:
-        # Payload bits + one O(log n)-bit sequence number.
-        return self.payload.bit_size(id_bits) + id_bits
+        # Payload bits + seq number + two O(log n)-bit epoch stamps.
+        return self.payload.bit_size(id_bits) + 3 * id_bits
 
 
 @dataclass(frozen=True)
@@ -88,10 +113,12 @@ class Ack:
     """Cumulative acknowledgement: every seq <= ``cum`` has been received."""
 
     cum: int
+    src_epoch: int = 0
+    dst_epoch: int = 0
     msg_type = RT_ACK
 
     def bit_size(self, id_bits: int) -> int:
-        return bits_for_ids(0, id_bits, extra_ints=1)
+        return bits_for_ids(0, id_bits, extra_ints=3)
 
 
 class _Port:
@@ -175,10 +202,20 @@ class ReliableNode(SimNode):
         self._channels: Dict[NodeId, _Channel] = {}
         self._expected: Dict[NodeId, int] = {}
         self._reorder: Dict[NodeId, Dict[int, Any]] = {}
+        # -- incarnation epochs (crash-recovery model) --
+        self.epoch = 0
+        self._peer_epochs: Dict[NodeId, int] = {}
+        #: Checkpoint/recovery hook (duck-typed ``RecoveryManager``); set by
+        #: :meth:`repro.faults.recovery.RecoveryManager.attach` on nodes
+        #: with a recovery spec, ``None`` otherwise -- the one-predicate
+        #: disabled path keeps the fault-free overhead at zero.
+        self.recovery: Optional[Any] = None
         # -- transport telemetry --
         self.retransmissions = 0
         self.duplicates_discarded = 0
         self.reordered_buffered = 0
+        self.epoch_fenced = 0
+        self.epoch_resets = 0
         self.undeliverable: List[Tuple[NodeId, Any]] = []
 
     # ------------------------------------------------------------------
@@ -195,9 +232,18 @@ class ReliableNode(SimNode):
         seq = channel.next_seq
         channel.next_seq += 1
         channel.outstanding[seq] = payload
-        self.sim.transmit(self.node_id, dst, Data(seq, payload))
+        self.sim.transmit(self.node_id, dst, self._frame(dst, seq, payload))
         if channel.timer is None:
             self._arm(dst, channel, reset_backoff=True)
+
+    def _frame(self, dst: NodeId, seq: int, payload: Any, *, retransmit: bool = False) -> Data:
+        return Data(
+            seq,
+            payload,
+            retransmit=retransmit,
+            src_epoch=self.epoch,
+            dst_epoch=self._peer_epochs.get(dst, 0),
+        )
 
     def on_timer(self, tag: Hashable) -> None:
         dst = tag
@@ -240,7 +286,7 @@ class ReliableNode(SimNode):
                         value=channel.attempts,
                     )
                 )
-            self.sim.transmit(self.node_id, dst, Data(seq, payload, retransmit=True))
+            self.sim.transmit(self.node_id, dst, self._frame(dst, seq, payload, retransmit=True))
             self.retransmissions += 1
         channel.timeout = int(channel.timeout * self.backoff) or self.base_timeout
         self._arm(dst, channel, reset_backoff=False)
@@ -290,13 +336,148 @@ class ReliableNode(SimNode):
             self.duplicates_discarded += 1
         # Cumulative ack; also re-acks duplicates so a lost ack is repaired
         # by the retransmission it provokes.
-        self.sim.transmit(self.node_id, src, Ack(self._expected[src] - 1))
+        self.sim.transmit(
+            self.node_id,
+            src,
+            Ack(
+                self._expected[src] - 1,
+                src_epoch=self.epoch,
+                dst_epoch=self._peer_epochs.get(src, 0),
+            ),
+        )
 
     def _deliver(self, src: NodeId, payload: Any) -> None:
         if not self.inner.awake:
             self.inner.awake = True
             self.inner.on_wake()
         self.inner.on_message(src, payload)
+        if self.recovery is not None:
+            self.recovery.observe(self)
+
+    # ------------------------------------------------------------------
+    # incarnation epochs (crash-recovery model)
+    # ------------------------------------------------------------------
+    def _epoch_admit(self, sender: NodeId, frame: Any) -> bool:
+        """Admit or fence one incoming frame; return ``True`` to process it.
+
+        Learn first, check second: a frame from a *newer* incarnation of
+        ``sender`` teaches us the new epoch (restarting every channel
+        keyed to the superseded one) before we judge the frame's belief
+        about *our* epoch.  A frame is fenced when it comes from a
+        superseded incarnation of the sender (a dead straggler: discard
+        silently) or was addressed to a superseded incarnation of us.  The
+        latter sender is alive and merely ignorant, so the fence *teaches*:
+        we answer with a current-epoch ack that carries no cumulative
+        progress but whose ``src_epoch`` makes the sender re-key its
+        channel to our new incarnation and re-queue what it still owes us.
+        Without the teach step a peer that last spoke to our old
+        incarnation would retransmit into the fence until give-up and its
+        half of the protocol conversation would hang forever.
+        """
+        known = self._peer_epochs.get(sender, 0)
+        if frame.src_epoch > known:
+            self._epoch_reset(sender, frame.src_epoch)
+            known = frame.src_epoch
+        if frame.src_epoch < known:
+            self._fence(sender, frame)
+            return False
+        if frame.dst_epoch != self.epoch:
+            self._fence(sender, frame)
+            self.sim.transmit(
+                self.node_id,
+                sender,
+                Ack(
+                    self._expected.get(sender, 0) - 1,
+                    src_epoch=self.epoch,
+                    dst_epoch=known,
+                ),
+            )
+            return False
+        return True
+
+    def _fence(self, sender: NodeId, frame: Any) -> None:
+        self.epoch_fenced += 1
+        obs = getattr(self.sim, "obs", None)
+        if obs is not None:
+            obs.emit(
+                RunEvent(
+                    self.sim.steps,
+                    "epoch-fence",
+                    node=self.node_id,
+                    peer=sender,
+                    msg_type=frame.msg_type,
+                    value=f"src={frame.src_epoch} dst={frame.dst_epoch} have={self.epoch}",
+                )
+            )
+
+    def _epoch_reset(self, peer: NodeId, new_epoch: int) -> None:
+        """``peer`` restarted: re-key all transport state shared with its
+        old incarnation.
+
+        Receiver state (expected seq, reorder park) belonged to the dead
+        incarnation's channel and is simply dropped -- the new incarnation
+        restarts at seq 0.  The sender-side channel is *re-queued*, not
+        dropped: every outstanding payload carries a now-stale
+        ``dst_epoch`` (our belief was constant over the channel's
+        lifetime) and would be fenced on arrival, but the payloads
+        themselves are protocol messages our wrapped node still expects
+        answers to.  Re-framing them on a fresh channel to the new
+        incarnation is what lets a half-open conversation (a search
+        awaiting its release, a conquest awaiting its more-done) complete
+        against the restarted peer instead of hanging forever.  To the
+        asynchronous model this is indistinguishable from a very slow
+        channel; a restarted peer whose state makes a re-queued message
+        impossible fails loudly via ProtocolError, never silently.
+        """
+        self._peer_epochs[peer] = new_epoch
+        self.epoch_resets += 1
+        self._expected.pop(peer, None)
+        self._reorder.pop(peer, None)
+        channel = self._channels.pop(peer, None)
+        if channel is not None:
+            if channel.timer is not None:
+                self.sim.cancel_timer(channel.timer)
+                channel.timer = None
+            if channel.outstanding:
+                fresh = self._channels.setdefault(peer, _Channel())
+                for seq in sorted(channel.outstanding):
+                    payload = channel.outstanding[seq]
+                    new_seq = fresh.next_seq
+                    fresh.next_seq += 1
+                    fresh.outstanding[new_seq] = payload
+                    self.sim.transmit(
+                        self.node_id,
+                        peer,
+                        self._frame(peer, new_seq, payload, retransmit=True),
+                    )
+                    self.retransmissions += 1
+                if fresh.timer is None:
+                    self._arm(peer, fresh, reset_backoff=True)
+
+    def begin_epoch(self, epoch: int) -> None:
+        """Restart this node's transport under incarnation ``epoch``.
+
+        Called by the recovery manager when the node comes back: all
+        pre-crash channel state (seqnums, retransmit buffers, reorder
+        parks, peer-epoch beliefs) is the old incarnation's and must not
+        leak into the new one -- that is exactly what epoch fencing
+        guarantees the *peers* will discard, so we discard it too.
+        """
+        if epoch <= self.epoch:
+            raise SimulationError(
+                f"epoch must increase: {epoch} <= current {self.epoch}"
+            )
+        for dst, channel in self._channels.items():
+            if channel.timer is not None:
+                self.sim.cancel_timer(channel.timer)
+                channel.timer = None
+            for seq in sorted(channel.outstanding):
+                self.undeliverable.append((dst, channel.outstanding[seq]))
+        self._channels = {}
+        self._expected = {}
+        self._reorder = {}
+        self._peer_epochs = {}
+        self.epoch = epoch
 
     # ------------------------------------------------------------------
     # SimNode interface
@@ -305,17 +486,38 @@ class ReliableNode(SimNode):
         if not self.inner.awake:
             self.inner.awake = True
             self.inner.on_wake()
+            if self.recovery is not None:
+                self.recovery.observe(self)
 
     def on_message(self, sender: NodeId, message: Any) -> None:
         if isinstance(message, Data):
+            if not self._epoch_admit(sender, message):
+                return
             self._handle_data(sender, message)
         elif isinstance(message, Ack):
+            if not self._epoch_admit(sender, message):
+                return
             self._handle_ack(sender, message)
         else:
             raise SimulationError(
                 f"reliable node {self.node_id!r} got a raw {message!r}; mixing "
                 "wrapped and unwrapped nodes on one simulator is unsupported"
             )
+
+    def on_crash(self) -> None:
+        # Silence every pending retransmit timer: the injector suppresses
+        # timers during the down window anyway, but a pre-crash timer due
+        # *after* recovery would otherwise fire into the new incarnation.
+        for channel in self._channels.values():
+            if channel.timer is not None:
+                self.sim.cancel_timer(channel.timer)
+                channel.timer = None
+        if self.recovery is not None:
+            self.recovery.on_crash(self)
+
+    def on_recover(self) -> None:
+        if self.recovery is not None:
+            self.recovery.restore(self)
 
     @property
     def outstanding_total(self) -> int:
@@ -348,4 +550,5 @@ def transport_totals(wrappers: Dict[NodeId, ReliableNode]) -> Dict[str, int]:
         "duplicates_discarded": sum(w.duplicates_discarded for w in wrappers.values()),
         "reordered_buffered": sum(w.reordered_buffered for w in wrappers.values()),
         "undeliverable": sum(len(w.undeliverable) for w in wrappers.values()),
+        "epoch_fenced": sum(w.epoch_fenced for w in wrappers.values()),
     }

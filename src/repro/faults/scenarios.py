@@ -16,12 +16,23 @@ from __future__ import annotations
 from random import Random
 from typing import Callable, Dict, Hashable, List
 
-from repro.faults.plan import CrashSpec, DelayBurst, FaultPlan, PartitionSpec
+from repro.faults.plan import (
+    CrashSpec,
+    DelayBurst,
+    FaultPlan,
+    PartitionSpec,
+    RecoverySpec,
+)
 from repro.graphs.knowledge_graph import KnowledgeGraph
 
 NodeId = Hashable
 
-__all__ = ["FAULT_SCENARIOS", "build_scenario", "pick_crash_victims"]
+__all__ = [
+    "FAULT_SCENARIOS",
+    "RECOVERY_SCENARIOS",
+    "build_scenario",
+    "pick_crash_victims",
+]
 
 
 def pick_crash_victims(graph: KnowledgeGraph, count: int, seed: int) -> List[NodeId]:
@@ -80,6 +91,37 @@ def _stress_plan(graph: KnowledgeGraph, seed: int) -> FaultPlan:
     )
 
 
+def _recovery_plan(
+    graph: KnowledgeGraph,
+    seed: int,
+    count: int,
+    *,
+    amnesia: bool = True,
+    loss: float = 0.0,
+    stagger: int = 0,
+) -> FaultPlan:
+    """Crash ``count`` victims mid-run and bring them all back.
+
+    Windows scale with ``n`` like the other scenarios: the crash lands
+    around step ``n`` (inside the active discovery phase) and recovery at
+    ``4n`` (well before the Theta(n log n) execution winds down), so the
+    restarted nodes must genuinely re-attach to a live, evolving system.
+    ``stagger`` offsets successive victims' windows for churn scenarios.
+    """
+    n = graph.n
+    victims = pick_crash_victims(graph, count, seed)
+    recoveries = tuple(
+        RecoverySpec(
+            node,
+            crash_step=n + i * stagger,
+            recover_step=4 * n + i * stagger,
+            amnesia=amnesia,
+        )
+        for i, node in enumerate(victims)
+    )
+    return FaultPlan(loss=loss, recoveries=recoveries)
+
+
 #: name -> (graph, seed) -> FaultPlan.  Keep names CLI-friendly.
 FAULT_SCENARIOS: Dict[str, Callable[[KnowledgeGraph, int], FaultPlan]] = {
     "baseline": lambda graph, seed: FaultPlan(),
@@ -92,7 +134,18 @@ FAULT_SCENARIOS: Dict[str, Callable[[KnowledgeGraph, int], FaultPlan]] = {
     "delay-burst": _delay_plan,
     "loss-crash": lambda graph, seed: _crash_plan(graph, seed, 2, loss=0.10),
     "stress": _stress_plan,
+    "recover-2": lambda graph, seed: _recovery_plan(graph, seed, 2),
+    "recover-ckpt": lambda graph, seed: _recovery_plan(graph, seed, 2, amnesia=False),
+    "recover-loss": lambda graph, seed: _recovery_plan(graph, seed, 2, loss=0.10),
+    "recover-churn": lambda graph, seed: _recovery_plan(
+        graph, seed, 4, stagger=max(1, graph.n // 2)
+    ),
 }
+
+#: The crash-*recovery* subset of the registry: these plans carry
+#: RecoverySpecs and therefore require the reliable transport (epoch
+#: fencing lives in ReliableNode), so raw-mode sweeps must skip them.
+RECOVERY_SCENARIOS = ("recover-2", "recover-ckpt", "recover-loss", "recover-churn")
 
 
 def build_scenario(name: str, graph: KnowledgeGraph, seed: int) -> FaultPlan:

@@ -24,10 +24,11 @@ from typing import Any, Callable, Dict, Hashable, Iterator, List, Optional
 
 __all__ = ["EVENT_KINDS", "RunEvent", "Recorder"]
 
-#: The event taxonomy (DESIGN.md section 10).  ``send`` .. ``timer`` are
+#: The event taxonomy (DESIGN.md sections 10-11).  ``send`` .. ``timer`` are
 #: transport mechanics, ``state-transition``/``phase-change`` are protocol
 #: progress, ``fault-action``/``retransmit`` are the fault layer's doing,
-#: and ``job`` is the sweep engine's job-lifecycle analogue.
+#: ``job`` is the sweep engine's job-lifecycle analogue, and
+#: ``crash``/``recover``/``epoch-fence`` belong to the crash-recovery model.
 EVENT_KINDS = (
     "send",
     "deliver",
@@ -39,6 +40,9 @@ EVENT_KINDS = (
     "fault-action",
     "retransmit",
     "job",
+    "crash",
+    "recover",
+    "epoch-fence",
 )
 
 

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Hashable, Tuple, Union
 
-__all__ = ["WakeToken", "DeliverToken", "TimerToken", "Token"]
+__all__ = ["WakeToken", "DeliverToken", "TimerToken", "LifecycleToken", "Token"]
 
 
 @dataclass(frozen=True)
@@ -75,4 +75,25 @@ class TimerToken:
         self.cancelled = True
 
 
-Token = Union[WakeToken, DeliverToken, TimerToken]
+@dataclass(frozen=True)
+class LifecycleToken:
+    """Crash or recover ``node`` at virtual time ``due`` (a step count).
+
+    The crash-recovery fault model (:mod:`repro.faults.recovery`) schedules
+    one of these per :class:`~repro.faults.plan.RecoverySpec` endpoint.  Like
+    a timer, a popped token whose due step has not arrived is re-enqueued --
+    and since each pop charges a step, the due step is always reached.  The
+    token lives in the scheduler until it fires, which deliberately holds
+    quiescence open: a system with a recovery pending is not at rest.
+    """
+
+    node: Hashable
+    due: int
+    action: str  # "crash" | "recover"
+
+    @property
+    def channel(self) -> None:
+        return None
+
+
+Token = Union[WakeToken, DeliverToken, TimerToken, LifecycleToken]

@@ -29,7 +29,7 @@ from collections import deque
 from typing import Any, Callable, Deque, Dict, Hashable, List, Optional, Tuple
 
 from repro.obs.events import Recorder, RunEvent
-from repro.sim.events import DeliverToken, TimerToken, Token, WakeToken
+from repro.sim.events import DeliverToken, LifecycleToken, TimerToken, Token, WakeToken
 from repro.sim.scheduler import GlobalFifoScheduler, Scheduler
 from repro.sim.trace import ExecutionTrace, MessageStats, TraceEvent
 
@@ -149,6 +149,17 @@ class SimNode:
         """Called when a timer armed via :meth:`Simulator.schedule_timer`
         fires.  Only transport-layer wrappers (``repro.faults.reliable``)
         use timers; the paper's protocol nodes have no clocks."""
+
+    def on_crash(self) -> None:  # pragma: no cover - interface default
+        """Called when a :class:`~repro.sim.events.LifecycleToken` crashes
+        this node.  The node keeps its in-memory state (what it loses, and
+        when, is the recovery layer's policy); the fault interceptor is what
+        silences its wake-ups, deliveries and timers during the outage."""
+
+    def on_recover(self) -> None:  # pragma: no cover - interface default
+        """Called when a :class:`~repro.sim.events.LifecycleToken` recovers
+        this node.  Transport wrappers restore state here; afterwards the
+        simulator re-schedules a wake-up if the node came back asleep."""
 
 
 class Simulator:
@@ -331,6 +342,18 @@ class Simulator:
         """Pending messages on one ordered channel (diagnostics)."""
         return len(self._channels.get((src, dst), ()))
 
+    def channel_peek(self, src: Hashable, dst: Hashable) -> Any:
+        """Head-of-line message on channel ``(src, dst)``, or ``None``.
+
+        What a FIFO delivery for this channel would pop next; fault layers
+        use it to attribute delivery-time drops to a message type without
+        consuming the message.  (Under the ``"random"`` channel discipline
+        the eventually-popped message may differ -- the head is still the
+        honest FIFO-order attribution.)
+        """
+        channel = self._channels.get((src, dst))
+        return channel[0] if channel else None
+
     def schedule_timer(
         self, node_id: Hashable, delay: int, tag: Hashable = None
     ) -> TimerToken:
@@ -346,6 +369,26 @@ class Simulator:
         if delay < 1:
             raise ValueError(f"timer delay must be >= 1 step, got {delay}")
         token = TimerToken(node_id, self.steps + delay, tag)
+        self.scheduler.push(token)
+        return token
+
+    def schedule_lifecycle(
+        self, node_id: Hashable, at_step: int, action: str
+    ) -> LifecycleToken:
+        """Schedule a crash or recovery of ``node_id`` at virtual time
+        ``at_step`` (an absolute executed-step count, >= 1).
+
+        The token stays pending until its due step, so a scheduled recovery
+        keeps the simulator from quiescing early -- the system is not at
+        rest while a node is still due to come back.
+        """
+        if node_id not in self.nodes:
+            raise KeyError(f"lifecycle event for unknown node {node_id!r}")
+        if action not in ("crash", "recover"):
+            raise ValueError(f"lifecycle action must be 'crash' or 'recover', got {action!r}")
+        if at_step < 1:
+            raise ValueError(f"lifecycle steps start at 1, got {at_step}")
+        token = LifecycleToken(node_id, at_step, action)
         self.scheduler.push(token)
         return token
 
@@ -378,6 +421,8 @@ class Simulator:
             self._execute_wake(token)
         elif isinstance(token, TimerToken):
             self._execute_timer(token)
+        elif isinstance(token, LifecycleToken):
+            self._execute_lifecycle(token)
         else:
             self._execute_deliver(token)
         return True
@@ -456,6 +501,25 @@ class Simulator:
         if self.obs is not None:
             self.obs.emit(RunEvent(self.steps, "timer", node=token.node))
         self.nodes[token.node].on_timer(token.tag)
+
+    def _execute_lifecycle(self, token: LifecycleToken) -> None:
+        if self.steps < token.due:
+            # Same approximate-time contract as timers: re-enqueue until the
+            # step counter (which the pop just advanced) catches up.
+            self.scheduler.push(token)
+            return
+        node = self.nodes[token.node]
+        self._record(TraceEvent(self.steps, token.action, None, token.node, None))
+        if self.obs is not None:
+            self.obs.emit(RunEvent(self.steps, token.action, node=token.node))
+        if token.action == "crash":
+            node.on_crash()
+        else:
+            node.on_recover()
+            if not node.awake:
+                # A node restored from an "asleep" checkpoint rejoins the
+                # way it originally joined: via a fresh spontaneous wake-up.
+                self.scheduler.push(WakeToken(token.node))
 
     def _execute_deliver(self, token: DeliverToken) -> None:
         channel = self._channels.get((token.src, token.dst))

@@ -33,6 +33,7 @@ NodeId = Hashable
 
 __all__ = [
     "OUTCOME_OK",
+    "OUTCOME_RECOVERED",
     "OUTCOME_DEGRADED",
     "OUTCOME_STALLED",
     "OUTCOME_DETECTED",
@@ -47,12 +48,16 @@ __all__ = [
 #: Chaos-trial outcomes, best to worst.  Only ``violated`` is a bug: the
 #: others are the documented ways an execution may degrade under faults.
 OUTCOME_OK = "ok"  # quiesced, all properties hold on survivors
+#: As good as ``ok``, and harder: all properties hold *and* at least one
+#: node crashed, restarted, and reconverged mid-run (crash-recovery model).
+OUTCOME_RECOVERED = "recovered"
 OUTCOME_DEGRADED = "degraded"  # quiesced, but some survivor property failed
 OUTCOME_STALLED = "stalled"  # step budget exhausted; liveness lost
 OUTCOME_DETECTED = "detected"  # protocol detected an impossible state (loud)
 OUTCOME_VIOLATED = "violated"  # stepwise safety broke -- must never happen
 OUTCOMES = (
     OUTCOME_OK,
+    OUTCOME_RECOVERED,
     OUTCOME_DEGRADED,
     OUTCOME_STALLED,
     OUTCOME_DETECTED,

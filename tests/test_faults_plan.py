@@ -14,8 +14,8 @@ from repro.faults import (
 )
 from repro.graphs.generators import random_weakly_connected, star
 from repro.graphs.knowledge_graph import KnowledgeGraph
-from repro.sim.network import DEFER, DELIVER, DROP, Simulator
-from repro.sim.events import DeliverToken
+from repro.sim.network import DEFER, DELIVER, DROP, SimNode, Simulator
+from repro.sim.events import DeliverToken, TimerToken
 
 
 class TestPlanValidation:
@@ -155,6 +155,37 @@ class TestInjector:
         silent.copies(self._sim(), "a", "b", object())
         assert len(silent.log) == 0
         assert silent.counts["crash-drop"] == 1  # counters still maintained
+
+    def test_crashed_node_timers_are_suppressed(self):
+        injector = FaultInjector(FaultPlan(crashes=(CrashSpec("a", at_step=0),)))
+        sim = self._sim()
+        assert not injector.timer_allowed(sim, TimerToken("a", due=0))
+        assert injector.timer_allowed(sim, TimerToken("b", due=0))
+        assert injector.counts["timer-suppressed"] == 1
+        suppressed = [e for e in injector.log if e.kind == "timer-suppressed"]
+        assert len(suppressed) == 1
+        assert suppressed[0].dst == "a" and suppressed[0].src is None
+
+    def test_crash_drop_attributes_real_msg_type(self):
+        # Delivery-time drops peek at the channel head so the fault log
+        # records what kind of message died, not just that one did.
+        class _Node(SimNode):
+            def on_message(self, sender, message):
+                pass
+
+        class _Probe:
+            msg_type = "probe"
+            bit_size = staticmethod(lambda id_bits: 1)
+
+        sim = Simulator()
+        sim.add_node(_Node("a"))
+        sim.add_node(_Node("b"))
+        sim.transmit("a", "b", _Probe())
+        injector = FaultInjector(FaultPlan(crashes=(CrashSpec("b", at_step=0),)))
+        assert injector.deliver_action(sim, DeliverToken("a", "b")) == DROP
+        drops = [e for e in injector.log if e.kind == "crash-drop"]
+        assert len(drops) == 1
+        assert drops[0].msg_type == "probe"
 
 
 class TestScenarios:

@@ -11,7 +11,7 @@ from repro.faults import (
     transport_totals,
 )
 from repro.sim.network import SimNode, SimulationError, Simulator
-from repro.sim.scheduler import RandomScheduler
+from repro.sim.scheduler import GlobalFifoScheduler, RandomScheduler
 from repro.sim.trace import bits_for_ids
 
 
@@ -167,6 +167,30 @@ class TestGiveUp:
         assert undeliverable_tags == list(range(5))
         assert sender.outstanding_total == 0
         assert sender.retransmissions == 2 * 5  # max_retries rounds of go-back-N
+
+    @pytest.mark.parametrize("max_retries", [0, 2, 3])
+    def test_give_up_horizon_is_exact(self, max_retries):
+        # One ping into a dead peer under deterministic FIFO scheduling.
+        # The timers double each round, so the transport abandons the
+        # conversation after base_timeout * (2^(max_retries+1) - 1) steps of
+        # waiting; the two extra steps are the wake-ups.  This pins the
+        # worst-case latency bound any caller of reliable_send can rely on.
+        base_timeout = 2
+        plan = FaultPlan(crashes=(CrashSpec("b", at_step=0),))
+        sim = Simulator(GlobalFifoScheduler(), faults=FaultInjector(plan, seed=0))
+        sender = ReliableNode(
+            Burst("a", "b", 1), base_timeout=base_timeout, max_retries=max_retries
+        )
+        sim.add_node(sender)
+        sim.add_node(ReliableNode(Sink("b"), base_timeout=base_timeout))
+        sim.schedule_wake("a")
+        sim.schedule_wake("b")
+        sim.run()
+        horizon = base_timeout * (2 ** (max_retries + 1) - 1)
+        assert sim.steps == 2 + horizon
+        assert sender.retransmissions == max_retries
+        assert [msg.tag for _dst, msg in sender.undeliverable] == [0]
+        assert sender.outstanding_total == 0
 
 
 class TestWiring:

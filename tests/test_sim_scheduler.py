@@ -3,6 +3,7 @@
 import pytest
 
 from repro.sim.events import DeliverToken, WakeToken
+from repro.sim.network import SimNode, Simulator, StuckExecutionError
 from repro.sim.scheduler import (
     AdversarialScheduler,
     Adversary,
@@ -106,3 +107,59 @@ class TestAdversarial:
         sched.push(DeliverToken("s0", "x"))
         assert sched.pop(None) is None
         assert len(sched) == 1
+
+
+class _Shout(SimNode):
+    """Messages every peer once on wake-up."""
+
+    def __init__(self, node_id, peers):
+        super().__init__(node_id)
+        self.peers = peers
+        self.got = []
+
+    def on_wake(self):
+        for peer in self.peers:
+            self.send(peer, _Tick())
+
+    def on_message(self, sender, message):
+        self.got.append(sender)
+
+
+class _Tick:
+    msg_type = "tick"
+
+    def bit_size(self, id_bits):
+        return 1
+
+
+class TestAdversaryInSimulator:
+    """on_stall drives real executions: each stall is charged as the
+    adversary yielding, and a concession with work pending is an error."""
+
+    def test_stall_release_step_accounting(self):
+        adversary = StallCounter(["a", "b"])
+        sim = Simulator(AdversarialScheduler(adversary))
+        sim.add_node(_Shout("a", ["c"]))
+        sim.add_node(_Shout("b", ["c"]))
+        sink = _Shout("c", [])
+        sim.add_node(sink)
+        for node in ("a", "b", "c"):
+            sim.schedule_wake(node)
+        sim.run()
+        # 3 wakes (never blocked) + 2 deliveries, each delivery preceded by
+        # one stall that released its source.  Stalls are scheduler-internal:
+        # they cost the adversary a concession, not the execution a step.
+        assert sim.steps == 5
+        assert adversary.stalls == 2
+        assert sink.got == ["a", "b"]  # release order, not send order
+
+    def test_concession_with_pending_work_is_stuck(self):
+        adversary = StallCounter(["a"])  # never releases b
+        sim = Simulator(AdversarialScheduler(adversary))
+        sim.add_node(_Shout("a", ["c"]))
+        sim.add_node(_Shout("b", ["c"]))
+        sim.add_node(_Shout("c", []))
+        for node in ("a", "b", "c"):
+            sim.schedule_wake(node)
+        with pytest.raises(StuckExecutionError):
+            sim.run()
