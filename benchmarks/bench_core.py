@@ -1,0 +1,230 @@
+"""BENCH: single-core throughput of the simulator hot path.
+
+Times the compiled fast loop (:mod:`repro.sim.fastcore`, the default) and
+the legacy object path on identical workloads, interleaved in the same
+process, and appends the results to ``BENCH_core.json`` at the repository
+root.  Two parts:
+
+* ``test_core_fast_vs_legacy`` (always runs; CI's perf-smoke job) -- the
+  n=128 sparse-random comparison workload plus an n=4096 smoke point.
+  Each run also cross-checks steps and message totals between the two
+  paths, so the benchmark doubles as a coarse differential test (the fine
+  one -- traces, per-type counters -- is ``tests/test_fastcore_equivalence``).
+
+  The regression gate is **ratio-based**: absolute wall-clock is not
+  comparable across machines, but the fast/legacy speedup measured within
+  one process is.  The measured speedup must stay above
+  ``REGRESSION_FLOOR`` times the committed baseline's speedup (a >25%
+  relative regression of the fast path fails the bench).
+
+* ``test_core_scaling_series`` (opt-in: ``BENCH_CORE_FULL=1``) -- the
+  scaling series up to n = 100,000 for the Generic and Ad-hoc engines on
+  the fast path, replacing the ``scaling`` block of ``BENCH_core.json``.
+  Takes ~2 minutes and >1 GB RSS at the top size, hence opt-in.
+"""
+
+import datetime
+import json
+import os
+import pathlib
+import time
+
+import pytest
+
+from repro.analysis.experiments import build_family
+from repro.core.runner import build_simulation, default_step_budget
+
+BENCH_PATH = pathlib.Path(__file__).parents[1] / "BENCH_core.json"
+
+FAMILY = "sparse-random"
+N_COMPARE = 128
+COMPARE_SEEDS = (0, 1, 2)
+COMPARE_REPEATS = 15
+N_SMOKE = 4096
+SMOKE_SEEDS = (0,)
+SMOKE_REPEATS = 3
+#: Measured speedup must stay above this fraction of the committed one.
+REGRESSION_FLOOR = 0.75
+SCALING_NS = {
+    "generic": (128, 1024, 4096, 10_000, 100_000),
+    "adhoc": (1024, 10_000, 100_000),
+}
+FULL = os.environ.get("BENCH_CORE_FULL", "") == "1"
+
+
+def _run_workload(n, seeds, fast, variant="generic"):
+    """Total run()-loop wall time over ``seeds``, plus steps/messages.
+
+    Graph and simulator construction are excluded on purpose: the bench
+    measures the hot loop, and the differential totals must match between
+    paths regardless of setup cost.
+    """
+    elapsed = 0.0
+    steps = messages = 0
+    for seed in seeds:
+        graph = build_family(FAMILY, n, seed)
+        sim, _nodes = build_simulation(graph, variant, seed=seed, fast=fast)
+        budget = default_step_budget(graph)
+        start = time.perf_counter()
+        steps += sim.run(budget)
+        elapsed += time.perf_counter() - start
+        messages += sim.stats.total_messages
+    return elapsed, steps, messages
+
+
+def _best_of(n, seeds, repeats, variant="generic"):
+    """Interleaved best-of-``repeats`` for both paths on one workload.
+
+    Interleaving (legacy, fast, legacy, fast, ...) makes the pair see the
+    same thermal/allocator drift; best-of filters scheduler noise, which
+    on shared runners dwarfs the effect under test.
+    """
+    legacy_best = fast_best = float("inf")
+    totals = {}
+    for _ in range(repeats):
+        for fast in (False, True):
+            wall, steps, messages = _run_workload(n, seeds, fast, variant)
+            key = "fast" if fast else "legacy"
+            totals.setdefault(key, (steps, messages))
+            assert totals[key] == (steps, messages)
+            if fast:
+                fast_best = min(fast_best, wall)
+            else:
+                legacy_best = min(legacy_best, wall)
+    # Coarse differential check: identical step and message totals.
+    assert totals["legacy"] == totals["fast"], (
+        f"fast/legacy divergence at n={n}: {totals}"
+    )
+    steps, _messages = totals["fast"]
+    return {
+        "n": n,
+        "seeds": len(seeds),
+        "repeats": repeats,
+        "legacy_ms": round(legacy_best * 1e3, 3),
+        "fast_ms": round(fast_best * 1e3, 3),
+        "speedup": round(legacy_best / fast_best, 3),
+        "steps_per_s": int(steps / fast_best),
+    }
+
+
+def _load_bench():
+    if BENCH_PATH.exists():
+        try:
+            return json.loads(BENCH_PATH.read_text())
+        except ValueError:
+            pass
+    return {}
+
+
+def test_core_fast_vs_legacy(benchmark, record_table):
+    def run():
+        # Warm-up: imports, allocator steady state, fastcore channel interning.
+        _run_workload(N_COMPARE, COMPARE_SEEDS, fast=True)
+        return {
+            "compare": _best_of(N_COMPARE, COMPARE_SEEDS, COMPARE_REPEATS),
+            "smoke": _best_of(N_SMOKE, SMOKE_SEEDS, SMOKE_REPEATS),
+        }
+
+    measured = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    data = _load_bench()
+    entries = data.get("entries", [])
+    if entries:
+        # The perf gate: the fast path's advantage must not collapse.
+        baseline = entries[-1]
+        for part in ("compare", "smoke"):
+            committed = baseline.get(part, {}).get("speedup")
+            if committed is None:
+                continue
+            floor = REGRESSION_FLOOR * committed
+            assert measured[part]["speedup"] >= floor, (
+                f"{part} (n={measured[part]['n']}): fast-path speedup "
+                f"{measured[part]['speedup']:.2f}x fell below "
+                f"{floor:.2f}x (committed baseline "
+                f"{committed:.2f}x, floor {REGRESSION_FLOOR:.0%})"
+            )
+
+    rows = [
+        [
+            part,
+            measured[part]["n"],
+            measured[part]["legacy_ms"],
+            measured[part]["fast_ms"],
+            f"{measured[part]['speedup']:.2f}x",
+            measured[part]["steps_per_s"],
+        ]
+        for part in ("compare", "smoke")
+    ]
+    record_table(
+        "BENCH-core-throughput",
+        ["workload", "n", "legacy-ms", "fast-ms", "speedup", "steps/s"],
+        rows,
+        notes=(
+            f"Generic on {FAMILY}, seeded RandomScheduler, best of "
+            f"{COMPARE_REPEATS}/{SMOKE_REPEATS} interleaved repeats "
+            "(run loop only, setup excluded). Criterion: identical "
+            "step/message totals across paths; speedup within "
+            f"{REGRESSION_FLOOR:.0%} of the committed baseline."
+        ),
+    )
+
+    entry = {
+        "date": datetime.date.today().isoformat(),
+        "family": FAMILY,
+        "compare": measured["compare"],
+        "smoke": measured["smoke"],
+    }
+    entries.append(entry)
+    data["entries"] = entries
+    BENCH_PATH.write_text(json.dumps(data, indent=1) + "\n")
+
+
+@pytest.mark.skipif(not FULL, reason="set BENCH_CORE_FULL=1 for the scaling series")
+def test_core_scaling_series(benchmark, record_table):
+    def run():
+        series = []
+        for variant, sizes in SCALING_NS.items():
+            for n in sizes:
+                graph = build_family(FAMILY, n, seed=0)
+                built = time.perf_counter()
+                sim, _nodes = build_simulation(graph, variant, seed=0)
+                budget = default_step_budget(graph)
+                start = time.perf_counter()
+                steps = sim.run(budget)
+                wall = time.perf_counter() - start
+                series.append(
+                    {
+                        "engine": variant,
+                        "n": n,
+                        "build_s": round(start - built, 3),
+                        "run_s": round(wall, 3),
+                        "steps": steps,
+                        "messages": sim.stats.total_messages,
+                        "steps_per_s": int(steps / wall),
+                    }
+                )
+        return series
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    record_table(
+        "BENCH-core-scaling",
+        ["engine", "n", "run-s", "steps", "messages", "steps/s"],
+        [
+            [p["engine"], p["n"], p["run_s"], p["steps"], p["messages"], p["steps_per_s"]]
+            for p in series
+        ],
+        notes=(
+            f"Fast path on {FAMILY}, seed 0, single run per size "
+            "(run loop only). Criterion: completes n=100,000 for both "
+            "engines within the step budget; wall-clock informative."
+        ),
+    )
+
+    data = _load_bench()
+    data["scaling"] = {
+        "date": datetime.date.today().isoformat(),
+        "family": FAMILY,
+        "series": series,
+    }
+    BENCH_PATH.write_text(json.dumps(data, indent=1) + "\n")

@@ -13,6 +13,7 @@ is pure overhead.  The JSON records whatever the hardware gave us.
 
 import datetime
 import json
+import os
 import pathlib
 import time
 
@@ -24,7 +25,10 @@ BENCH_PATH = pathlib.Path(__file__).parents[1] / "BENCH_parallel.json"
 
 EXPERIMENT = "near-linear"
 KWARGS = {"ns": (64, 128, 256)}
-SEEDS = range(6)
+# 12 seeds at 4 workers x 2 batches/worker -> 8 round-robin batches, so
+# the sweep exercises the batched submission path (the fix for the 0.83x
+# entry) rather than degenerating to one future per job.
+SEEDS = range(12)
 WORKERS = 4
 
 
@@ -71,6 +75,7 @@ def test_parallel_speedup(benchmark, record_table):
         "ns": list(KWARGS["ns"]),
         "seeds": len(list(SEEDS)),
         "workers": WORKERS,
+        "cpus": os.cpu_count(),
         "serial_s": round(serial_wall, 3),
         "parallel_s": round(parallel_wall, 3),
         "speedup": round(serial_wall / max(parallel_wall, 1e-9), 2),

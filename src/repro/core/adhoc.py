@@ -50,6 +50,7 @@ class AdhocNetwork:
         keep_trace: bool = False,
         wake_order: Optional[Sequence[NodeId]] = None,
         auto_wake: bool = True,
+        fast: bool = True,
     ) -> None:
         self.graph = graph.copy()
         self.sim, self.nodes = build_simulation(
@@ -60,6 +61,7 @@ class AdhocNetwork:
             keep_trace=keep_trace,
             wake_order=wake_order,
             auto_wake=auto_wake,
+            fast=fast,
         )
 
     # ------------------------------------------------------------------
@@ -145,6 +147,7 @@ def run_adhoc(
     wake_order: Optional[Sequence[NodeId]] = None,
     keep_trace: bool = False,
     max_steps: Optional[int] = None,
+    fast: bool = True,
 ) -> DiscoveryResult:
     """One-shot Ad-hoc run to quiescence (no dynamic operations)."""
     network = AdhocNetwork(
@@ -153,6 +156,7 @@ def run_adhoc(
         scheduler=scheduler,
         keep_trace=keep_trace,
         wake_order=wake_order,
+        fast=fast,
     )
     network.run(max_steps)
     return network.result()

@@ -31,6 +31,7 @@ def run_bounded(
     wake_order: Optional[Sequence[Hashable]] = None,
     keep_trace: bool = False,
     max_steps: Optional[int] = None,
+    fast: bool = True,
 ) -> DiscoveryResult:
     """Run the Bounded algorithm on ``graph`` until quiescence.
 
@@ -46,6 +47,7 @@ def run_bounded(
         scheduler=scheduler,
         keep_trace=keep_trace,
         wake_order=wake_order,
+        fast=fast,
     )
     sim.run(max_steps if max_steps is not None else default_step_budget(graph))
     return collect_result(graph, nodes, sim, "bounded")

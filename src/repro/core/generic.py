@@ -32,6 +32,7 @@ def run_generic(
     keep_trace: bool = False,
     max_steps: Optional[int] = None,
     greedy_queries: bool = False,
+    fast: bool = True,
 ) -> DiscoveryResult:
     """Run the Generic algorithm on ``graph`` until quiescence.
 
@@ -53,6 +54,9 @@ def run_generic(
     greedy_queries:
         Ablation: disable Section 4.1's query balancing (see
         :class:`~repro.core.node.DiscoveryNode`).
+    fast:
+        Allow the compiled run loop (:mod:`repro.sim.fastcore`); results
+        are bit-identical, ``fast=False`` forces the object path.
     """
     sim, nodes = build_simulation(
         graph,
@@ -62,6 +66,7 @@ def run_generic(
         keep_trace=keep_trace,
         wake_order=wake_order,
         greedy_queries=greedy_queries,
+        fast=fast,
     )
     sim.run(max_steps if max_steps is not None else default_step_budget(graph))
     return collect_result(graph, nodes, sim, "generic")

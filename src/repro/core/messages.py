@@ -35,7 +35,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import FrozenSet, Hashable
 
-from repro.sim.trace import bits_for_ids
+from repro.sim.trace import HEADER_BITS, bits_for_ids  # noqa: F401 (re-export)
 
 NodeId = Hashable
 
@@ -60,7 +60,7 @@ MERGE = "merge"
 ABORT = "abort"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Query:
     """Leader asks a cluster member for up to ``k`` unreported ids.
 
@@ -73,10 +73,11 @@ class Query:
     msg_type = "query"
 
     def bit_size(self, id_bits: int) -> int:
-        return bits_for_ids(0, id_bits, extra_ints=1)
+        # bits_for_ids(0, id_bits, extra_ints=1), inlined (hot path).
+        return HEADER_BITS + (id_bits if id_bits > 1 else 1)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class QueryReply:
     """Up to ``k`` ids from the member's ``local`` set.
 
@@ -89,10 +90,11 @@ class QueryReply:
     msg_type = "query-reply"
 
     def bit_size(self, id_bits: int) -> int:
-        return bits_for_ids(len(self.ids), id_bits) + 1
+        # bits_for_ids(len(ids), id_bits) + 1 flag bit, inlined.
+        return HEADER_BITS + len(self.ids) * (id_bits if id_bits > 1 else 1) + 1
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Search:
     """``<v.id, v.phase, u.id, new>`` of Figure 3.
 
@@ -111,10 +113,11 @@ class Search:
     msg_type = "search"
 
     def bit_size(self, id_bits: int) -> int:
-        return bits_for_ids(2, id_bits, extra_ints=1) + 1
+        # bits_for_ids(2, id_bits, extra_ints=1) + 1 flag bit, inlined.
+        return HEADER_BITS + 3 * (id_bits if id_bits > 1 else 1) + 1
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Release:
     """``<l, answer, v>`` of Figures 4-6: the reply to ``initiator``'s
     search, issued by leader ``leader``, with verdict ``answer``.
@@ -144,30 +147,31 @@ class Release:
             raise ValueError(f"release answer must be merge/abort, got {self.answer!r}")
 
     def bit_size(self, id_bits: int) -> int:
-        return bits_for_ids(2, id_bits, extra_ints=1) + 1
+        # bits_for_ids(2, id_bits, extra_ints=1) + 1 flag bit, inlined.
+        return HEADER_BITS + 3 * (id_bits if id_bits > 1 else 1) + 1
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MergeAccept:
     """Conqueror (wait-state leader) accepts the merge request."""
 
     msg_type = "merge-accept"
 
     def bit_size(self, id_bits: int) -> int:
-        return bits_for_ids(0, id_bits)
+        return HEADER_BITS  # bits_for_ids(0, id_bits): header only
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MergeFail:
     """The search initiator is no longer a waiting leader; merge refused."""
 
     msg_type = "merge-fail"
 
     def bit_size(self, id_bits: int) -> int:
-        return bits_for_ids(0, id_bits)
+        return HEADER_BITS  # bits_for_ids(0, id_bits): header only
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Info:
     """``<phase, more, done, unaware, unexplored>`` of Figure 6.
 
@@ -185,10 +189,11 @@ class Info:
 
     def bit_size(self, id_bits: int) -> int:
         n_ids = len(self.more) + len(self.done) + len(self.unaware) + len(self.unexplored)
-        return bits_for_ids(n_ids, id_bits, extra_ints=1)
+        # bits_for_ids(n_ids, id_bits, extra_ints=1), inlined.
+        return HEADER_BITS + (n_ids + 1) * (id_bits if id_bits > 1 else 1)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Conquer:
     """``<v.id, v.phase>``: announce the new leader to an unaware node."""
 
@@ -197,10 +202,11 @@ class Conquer:
     msg_type = "conquer"
 
     def bit_size(self, id_bits: int) -> int:
-        return bits_for_ids(1, id_bits, extra_ints=1)
+        # bits_for_ids(1, id_bits, extra_ints=1), inlined.
+        return HEADER_BITS + 2 * (id_bits if id_bits > 1 else 1)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MoreDone:
     """The conquer acknowledgement: one bit saying whether the sender's
     ``local`` set still holds unreported ids (Figure 5's more/done reply)."""
@@ -209,10 +215,10 @@ class MoreDone:
     msg_type = "more-done"
 
     def bit_size(self, id_bits: int) -> int:
-        return bits_for_ids(0, id_bits) + 1
+        return HEADER_BITS + 1  # bits_for_ids(0, id_bits) + 1 flag bit
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Probe:
     """Ad-hoc snapshot request (Section 4.5.2), routed like a search."""
 
@@ -220,10 +226,11 @@ class Probe:
     msg_type = "probe"
 
     def bit_size(self, id_bits: int) -> int:
-        return bits_for_ids(1, id_bits)
+        # bits_for_ids(1, id_bits), inlined.
+        return HEADER_BITS + (id_bits if id_bits > 1 else 1)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ProbeReply:
     """Ad-hoc snapshot reply: the leader id and every id it has gathered.
 
@@ -236,4 +243,5 @@ class ProbeReply:
     msg_type = "probe-reply"
 
     def bit_size(self, id_bits: int) -> int:
-        return bits_for_ids(2 + len(self.ids), id_bits)
+        # bits_for_ids(2 + len(ids), id_bits), inlined.
+        return HEADER_BITS + (2 + len(self.ids)) * (id_bits if id_bits > 1 else 1)

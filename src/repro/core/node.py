@@ -76,6 +76,12 @@ class ProtocolError(SimulationError):
     """A message arrived in a state the protocol proves impossible."""
 
 
+#: Field-less handshake messages are value objects; one shared frozen
+#: instance per type avoids an allocation on every merge handshake.
+_MERGE_ACCEPT = MergeAccept()
+_MERGE_FAIL = MergeFail()
+
+
 class DiscoveryNode(SimNode):
     """One participant of the (Generic | Bounded | Ad-hoc) algorithm.
 
@@ -250,24 +256,54 @@ class DiscoveryNode(SimNode):
         self._pump()
 
     def on_message(self, sender: NodeId, message: Any) -> None:
-        self._inbox.append((sender, message))
-        self._pump()
+        # Common case inlined: nothing queued, nothing deferred -- dispatch
+        # without the inbox round-trip.  Observationally identical to the
+        # general path because a successful dispatch never appends to
+        # ``_deferred`` and the replay rule only fires when ``_deferred``
+        # was non-empty *before* the dispatch.
+        if self._processing or self._inbox or self._deferred:
+            self._inbox.append((sender, message))
+            self._pump()
+            return
+        self._processing = True
+        try:
+            # _dispatch inlined (one call per delivered message saved).
+            handler = self._HANDLERS.get(message.msg_type)
+            if handler is None:
+                raise ProtocolError(
+                    f"{self.node_id!r}: unknown message type {message.msg_type!r}"
+                )
+            if not handler(self, sender, message):
+                self._deferred.append((sender, message))
+        finally:
+            self._processing = False
+        if self._inbox:  # a handler self-enqueued (none do today)
+            self._pump()
 
     def _pump(self) -> None:
         """Process the inbox; replay deferred messages on substate change."""
         if self._processing:
             return
         self._processing = True
+        inbox = self._inbox
+        deferred = self._deferred
         try:
-            while self._inbox:
-                sender, message = self._inbox.popleft()
+            while inbox:
+                sender, message = inbox.popleft()
+                if not deferred:
+                    # The replay rule below compares substates only when a
+                    # deferred message could be replayed; with none parked
+                    # the comparison is dead weight, so skip computing it.
+                    if not self._dispatch(sender, message):
+                        deferred.append((sender, message))
+                    continue
                 before = self._substate_token()
                 if not self._dispatch(sender, message):
-                    self._deferred.append((sender, message))
+                    deferred.append((sender, message))
                     continue
-                if self._deferred and self._substate_token() != before:
-                    self._inbox.extendleft(reversed(self._deferred))
-                    self._deferred.clear()
+                if deferred and self._substate_token() != before:
+                    inbox.extendleft(reversed(deferred))
+                    deferred.clear()
         finally:
             self._processing = False
 
@@ -289,32 +325,20 @@ class DiscoveryNode(SimNode):
     # ------------------------------------------------------------------
     # Dispatch
     # ------------------------------------------------------------------
+    #: msg_type -> unbound handler; filled in after the class body (the
+    #: methods do not exist yet at this point in the class definition).
+    #: One dict hit replaces the former chain of string comparisons --
+    #: measurable, because dispatch runs once per delivered message.
+    _HANDLERS: Dict[str, Any] = {}
+
     def _dispatch(self, sender: NodeId, message: Any) -> bool:
         """Handle one message; return False to defer it."""
-        msg_type = message.msg_type
-        if msg_type == "query":
-            return self._on_query(sender, message)
-        if msg_type == "query-reply":
-            return self._on_query_reply(sender, message)
-        if msg_type == "search":
-            return self._on_search(sender, message)
-        if msg_type == "release":
-            return self._on_release(sender, message)
-        if msg_type == "merge-accept":
-            return self._on_merge_accept(sender, message)
-        if msg_type == "merge-fail":
-            return self._on_merge_fail(sender, message)
-        if msg_type == "info":
-            return self._on_info(sender, message)
-        if msg_type == "conquer":
-            return self._on_conquer(sender, message)
-        if msg_type == "more-done":
-            return self._on_more_done(sender, message)
-        if msg_type == "probe":
-            return self._on_probe(sender, message)
-        if msg_type == "probe-reply":
-            return self._on_probe_reply(sender, message)
-        raise ProtocolError(f"{self.node_id!r}: unknown message type {msg_type!r}")
+        handler = self._HANDLERS.get(message.msg_type)
+        if handler is None:
+            raise ProtocolError(
+                f"{self.node_id!r}: unknown message type {message.msg_type!r}"
+            )
+        return handler(self, sender, message)
 
     # ------------------------------------------------------------------
     # EXPLORE (Figure 3)
@@ -548,7 +572,7 @@ class DiscoveryNode(SimNode):
             # The reached leader asks to merge into us: become conqueror.
             self.status = "conqueror"
             self._awaiting_info = True
-            self.send(message.leader, MergeAccept())
+            self.send(message.leader, _MERGE_ACCEPT)
             return
         if self._restarted and self.status == "passive" and message.answer == MERGE:
             # Crash-recovery special case: a restart can shuffle which of
@@ -562,13 +586,13 @@ class DiscoveryNode(SimNode):
             # keeps the component live.
             self.status = "conqueror"
             self._awaiting_info = True
-            self.send(message.leader, MergeAccept())
+            self.send(message.leader, _MERGE_ACCEPT)
             return
         if self.status in ("passive", "conquered", "inactive"):
             # A stale reply to a search from our leader days (Figures 4-6):
             # refuse merges, ignore aborts -- but keep the leader's id.
             if message.answer == MERGE:
-                self.send(message.leader, MergeFail())
+                self.send(message.leader, _MERGE_FAIL)
             if self._expect_stale_release:
                 self._expect_stale_release = False
                 self._absorb_learned_id(message.leader)
@@ -577,7 +601,7 @@ class DiscoveryNode(SimNode):
             # Reply to a search the dead incarnation sent: treat it exactly
             # like the stale-reply case above (refuse merges, keep the id).
             if message.answer == MERGE:
-                self.send(message.leader, MergeFail())
+                self.send(message.leader, _MERGE_FAIL)
             self._absorb_learned_id(message.leader)
             return
         raise ProtocolError(
@@ -940,3 +964,22 @@ class DiscoveryNode(SimNode):
             self._explore()
             self._replay_deferred()
         self._pump()
+
+
+# Dispatch table: one dict hit per delivered message instead of a chain of
+# string comparisons.  Keyed by the wire msg_type, bound late so subclasses
+# overriding a handler method would need to rebuild it -- none exist; the
+# class is final in practice.
+DiscoveryNode._HANDLERS = {
+    "query": DiscoveryNode._on_query,
+    "query-reply": DiscoveryNode._on_query_reply,
+    "search": DiscoveryNode._on_search,
+    "release": DiscoveryNode._on_release,
+    "merge-accept": DiscoveryNode._on_merge_accept,
+    "merge-fail": DiscoveryNode._on_merge_fail,
+    "info": DiscoveryNode._on_info,
+    "conquer": DiscoveryNode._on_conquer,
+    "more-done": DiscoveryNode._on_more_done,
+    "probe": DiscoveryNode._on_probe,
+    "probe-reply": DiscoveryNode._on_probe_reply,
+}

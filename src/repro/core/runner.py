@@ -52,6 +52,7 @@ def build_simulation(
     base_timeout: Optional[int] = None,
     max_retries: int = 6,
     obs: Optional[Recorder] = None,
+    fast: bool = True,
 ) -> "tuple[Simulator, Dict[NodeId, DiscoveryNode]]":
     """Create a simulator with one :class:`DiscoveryNode` per graph node.
 
@@ -72,6 +73,11 @@ def build_simulation(
     ``obs`` attaches a :class:`~repro.obs.events.Recorder` so the run
     emits the typed observability events; the default ``None`` keeps the
     simulator on its near-zero-overhead disabled path.
+
+    ``fast`` (default on) lets the simulator use the compiled run loop of
+    :mod:`repro.sim.fastcore` whenever the configuration qualifies; results
+    are bit-identical either way, so ``fast=False`` exists for the
+    benchmarks and the differential-equivalence suite.
     """
     if scheduler is None:
         scheduler = RandomScheduler(seed) if seed is not None else GlobalFifoScheduler()
@@ -83,6 +89,7 @@ def build_simulation(
         channel_seed=channel_seed,
         faults=faults,
         obs=obs,
+        fast=fast,
     )
     sizes: Dict[NodeId, int] = {}
     if variant == "bounded":

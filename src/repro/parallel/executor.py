@@ -12,10 +12,19 @@ over a ``concurrent.futures.ProcessPoolExecutor`` (forked workers), with
   remaining jobs instead of aborting the sweep;
 * a **per-job timeout** that marks the job failed and reclaims the worker
   rather than hanging the sweep on one diverging simulation;
+* **job batching**: when a sweep has many more jobs than workers, jobs
+  are grouped into at most ``workers * batches_per_worker`` round-robin
+  batches and each *batch* is one pool submission, so the per-future
+  overhead (pickling, IPC wakeups, result marshalling) is paid once per
+  batch instead of once per tiny job -- the fix for the negative speedup
+  the first ``BENCH_parallel.json`` entry recorded.  Sweeps with at most
+  ``workers * batches_per_worker`` jobs get singleton batches, i.e. the
+  exact pre-batching behaviour (including per-job timeouts);
 * **determinism**: jobs are submitted in deterministic shard-interleaved
   order (:func:`~repro.parallel.jobs.shard_seeds`) and results are
   collected back into submission order, so the aggregated tables are
-  bitwise identical for any worker count and any completion order;
+  bitwise identical for any worker count, any batch shape and any
+  completion order;
 * transparent **result caching** when a
   :class:`~repro.parallel.cache.ResultCache` is attached.
 """
@@ -140,6 +149,15 @@ def _safe_execute(job: Job) -> JobResult:
     )
 
 
+def _safe_execute_batch(batch: List[Job]) -> List[JobResult]:
+    """Run a batch of jobs in one worker invocation, preserving order.
+
+    Crash isolation stays per-job (each job goes through
+    :func:`_safe_execute`), only the *submission* is batched.
+    """
+    return [_safe_execute(job) for job in batch]
+
+
 def _fork_available() -> bool:
     return "fork" in multiprocessing.get_all_start_methods()
 
@@ -150,12 +168,21 @@ class ParallelExecutor:
 
     ``workers=1`` (the default) runs serially in-process; higher counts
     fork a pool.  ``timeout`` bounds the wait for each job's result in
-    seconds.  ``executed`` counts jobs actually run (cache hits excluded)
-    over the executor's lifetime.
+    seconds; batched submissions get a pooled budget of
+    ``timeout * len(batch)``, so the average per-job bound is unchanged
+    (one pathological job can borrow budget from its batch mates, which is
+    the price of amortizing pool overhead -- sweeps small enough for
+    singleton batches keep the exact per-job bound).
+    ``batches_per_worker`` controls the batching granularity: pending jobs
+    are split into at most ``workers * batches_per_worker`` round-robin
+    batches (more batches = finer load balancing, fewer batches = less
+    per-future overhead).  ``executed`` counts jobs actually run (cache
+    hits excluded) over the executor's lifetime.
     """
 
     workers: int = 1
     timeout: Optional[float] = None
+    batches_per_worker: int = 2
     cache: Optional[ResultCache] = None
     progress: Any = field(default_factory=NullProgress)
     executed: int = 0
@@ -163,6 +190,10 @@ class ParallelExecutor:
     def __post_init__(self) -> None:
         if self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.batches_per_worker < 1:
+            raise ValueError(
+                f"batches_per_worker must be >= 1, got {self.batches_per_worker}"
+            )
 
     # ------------------------------------------------------------------
     # core
@@ -208,37 +239,55 @@ class ParallelExecutor:
     def _run_pool(
         self, jobs: Sequence[Job], pending: Sequence[int]
     ) -> Iterator[Tuple[int, JobResult]]:
-        # Deterministic shard-interleaved submission: shard i takes every
-        # workers-th pending job, so long jobs spread across the pool, and
-        # the order is a pure function of (pending, workers).
-        order = [index for shard in shard_seeds(pending, self.workers) for index in shard]
+        # Deterministic round-robin batching: batch i takes every
+        # n_batches-th pending job, so long jobs spread across the pool
+        # and the partition is a pure function of (pending, workers,
+        # batches_per_worker).  One future per *batch* keeps the pool's
+        # per-future overhead off the per-job cost; with few jobs the
+        # batches degenerate to singletons and this is exactly the old
+        # one-future-per-job submission.
+        n_batches = min(len(pending), self.workers * self.batches_per_worker)
+        batches = shard_seeds(pending, n_batches)
         pool = ProcessPoolExecutor(
             max_workers=self.workers, mp_context=multiprocessing.get_context("fork")
         )
         timed_out = False
         try:
-            futures = {index: pool.submit(_safe_execute, jobs[index]) for index in order}
+            futures = [
+                pool.submit(_safe_execute_batch, [jobs[index] for index in batch])
+                for batch in batches
+            ]
             broken = False
-            for index in order:
-                job = jobs[index]
+            for batch, future in zip(batches, futures):
                 if broken:
                     # Pool died mid-sweep; finish the rest in-process.
-                    yield index, _safe_execute(job)
+                    for index in batch:
+                        yield index, _safe_execute(jobs[index])
                     continue
+                budget = None if self.timeout is None else self.timeout * len(batch)
                 try:
-                    yield index, futures[index].result(timeout=self.timeout)
+                    batch_results = future.result(timeout=budget)
                 except FuturesTimeoutError:
                     timed_out = True
-                    futures[index].cancel()
-                    yield index, JobResult(
-                        job=job,
-                        status=TIMEOUT,
-                        wall=self.timeout,
-                        error=f"no result after {self.timeout:g}s",
-                    )
+                    future.cancel()
+                    for index in batch:
+                        yield index, JobResult(
+                            job=jobs[index],
+                            status=TIMEOUT,
+                            wall=self.timeout,
+                            error=(
+                                f"batch of {len(batch)} job(s) produced no "
+                                f"result after {budget:g}s"
+                            ),
+                        )
+                    continue
                 except BrokenProcessPool:
                     broken = True
-                    yield index, _safe_execute(job)
+                    for index in batch:
+                        yield index, _safe_execute(jobs[index])
+                    continue
+                for index, result in zip(batch, batch_results):
+                    yield index, result
         finally:
             if timed_out:
                 # Don't block on workers still grinding the timed-out job.

@@ -193,6 +193,10 @@ def shard_seeds(seeds: Sequence[int], n_shards: int) -> List[List[int]]:
     Shard ``i`` receives ``seeds[i::n_shards]``; empty shards are dropped.
     The partition depends only on the input order and the shard count, so
     schedulers that interleave submission across shards stay reproducible.
+    This is also the executor's job-batching partition: each shard of
+    pending job indices becomes one pool submission, which keeps batch
+    composition -- and therefore timeout accounting and fallback order --
+    a pure function of the sweep spec.
     """
     if n_shards <= 0:
         raise ValueError(f"n_shards must be positive, got {n_shards}")

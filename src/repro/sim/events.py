@@ -5,6 +5,12 @@ either a *wake-up* of a node or the *delivery* of the oldest in-flight
 message on some FIFO channel.  The scheduler (see
 :mod:`repro.sim.scheduler`) decides the order; the adversaries of the
 lower-bound experiments are just scheduling policies.
+
+All token classes are ``slots=True`` dataclasses: one token exists per
+pending step, so at n=10^5 scale the per-instance ``__dict__`` of a plain
+dataclass is pure allocator churn.  (The compiled fast path of
+:mod:`repro.sim.fastcore` goes further and does not materialize delivery
+tokens at all -- it pushes interned channel indices instead.)
 """
 
 from __future__ import annotations
@@ -15,7 +21,7 @@ from typing import Hashable, Tuple, Union
 __all__ = ["WakeToken", "DeliverToken", "TimerToken", "LifecycleToken", "Token"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WakeToken:
     """Spontaneously wake ``node`` (no-op if already awake)."""
 
@@ -26,7 +32,7 @@ class WakeToken:
         return None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DeliverToken:
     """Deliver the head-of-line message on channel ``(src, dst)``.
 
@@ -44,7 +50,7 @@ class DeliverToken:
         return (self.src, self.dst)
 
 
-@dataclass(eq=False)
+@dataclass(eq=False, slots=True)
 class TimerToken:
     """Fire ``node``'s :meth:`~repro.sim.network.SimNode.on_timer` at virtual
     time ``due`` (a simulator step count).
@@ -75,7 +81,7 @@ class TimerToken:
         self.cancelled = True
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LifecycleToken:
     """Crash or recover ``node`` at virtual time ``due`` (a step count).
 

@@ -136,7 +136,15 @@ class SimNode:
                 f"{getattr(message, 'msg_type', message)!r}; self-interactions "
                 "must be simulated internally (Section 4.1)"
             )
-        self.sim.transmit(self.node_id, dst, message)
+        # Direct attribute access instead of the ``sim`` property: send is
+        # the hottest node->simulator edge and the property's guard costs a
+        # call per message.  Same error contract for unbound nodes.
+        sim = self._sim
+        if sim is None:
+            raise SimulationError(
+                f"node {self.node_id!r} is not bound to a simulator"
+            )
+        sim.transmit(self.node_id, dst, message)
 
     # -- handlers -------------------------------------------------------
     def on_wake(self) -> None:  # pragma: no cover - interface default
@@ -192,6 +200,15 @@ class Simulator:
         events (send/deliver/drop/wake/timer/state-transition/
         phase-change/fault-action); ``None`` (the default) disables
         observability at the cost of one predicate check per emit site.
+    fast:
+        Allow the compiled fast path (:mod:`repro.sim.fastcore`) to run
+        :meth:`run` when the configuration permits it.  The fast path is
+        *selected automatically*: it engages only when no fault
+        interceptor, recorder, send observer, custom scheduler or
+        non-FIFO channel discipline requires the object path, and it is
+        differentially tested to produce bit-identical traces, stats and
+        step counts.  ``fast=False`` forces the legacy object path (used
+        by benchmarks and the equivalence suite).
     """
 
     def __init__(
@@ -205,6 +222,7 @@ class Simulator:
         duplicate_probability: float = 0.0,
         faults: Optional[ChannelInterceptor] = None,
         obs: Optional[Recorder] = None,
+        fast: bool = True,
     ) -> None:
         if id_bits < 1:
             raise ValueError(f"id_bits must be >= 1, got {id_bits}")
@@ -243,6 +261,10 @@ class Simulator:
         self._cancelled_timers = 0
         #: the Recorder seam; ``None`` keeps every emit site at one check.
         self.obs = obs
+        self.fast = fast
+        #: interned channel registry built lazily by the fast path:
+        #: ``(chan_queues, chan_meta, out_by_src)`` -- see fastcore.
+        self._fast_channels = None
         if duplicate_probability > 0.0:
             # The legacy knob became a fault policy in the interceptor
             # seam (finding F7); the shim keeps old call sites running but
@@ -441,7 +463,17 @@ class Simulator:
         a test failure instead of a hang.  At most ``max_steps`` steps
         execute before the limit trips (the historical behaviour allowed one
         extra step).
+
+        When :attr:`fast` is set and the configuration qualifies (no
+        faults, no recorder, no send observers, FIFO channels, a stock
+        scheduler), the loop is delegated to :func:`repro.sim.fastcore.run_fast`,
+        which executes the same steps with identical observable results.
         """
+        if self.fast and type(self) is Simulator:
+            from repro.sim import fastcore
+
+            if fastcore.eligible(self):
+                return fastcore.run_fast(self, max_steps)
         executed = 0
         while self.step():
             executed += 1

@@ -17,13 +17,27 @@ the order.  The stock policies are:
   (``on_stall``), which is exactly the structure of the Theorem 1 lower
   bound argument ("stall all messages sent by the root until both subtrees
   have no more messages to send").
+
+The three stock policies expose their underlying pool (``_queue`` /
+``_stack`` / ``_pool`` plus ``_rng``) as a documented-internal seam: the
+compiled fast path (:mod:`repro.sim.fastcore`) appends interned channel
+indices to the pool directly and inlines the corresponding pop, so
+``len(scheduler)`` and quiescence detection keep working unmodified while
+the per-step method-call overhead disappears.  Any rename here must update
+``fastcore`` in the same change.
+
+``pending()`` returns a *lazy view* (iterator) everywhere: the previous
+contract returned a fresh tuple per call, which turned a diagnostics helper
+into an O(n) allocation any time a caller used it in a loop.  Materialize
+with ``list(...)`` before mutating the scheduler.
 """
 
 from __future__ import annotations
 
 import random
 from collections import deque
-from typing import TYPE_CHECKING, Deque, Iterable, List, Optional
+from itertools import chain
+from typing import TYPE_CHECKING, Deque, Iterable, Iterator, List, Optional
 
 from repro.sim.events import Token
 
@@ -59,7 +73,12 @@ class Scheduler:
         raise NotImplementedError
 
     def pending(self) -> Iterable[Token]:
-        """Iterate over pending tokens (diagnostics only)."""
+        """Iterate over pending tokens (diagnostics only).
+
+        Returns a lazy view over the live pool -- do not push/pop while
+        consuming it; ``list(scheduler.pending())`` first if you need a
+        stable snapshot.
+        """
         raise NotImplementedError
 
 
@@ -80,8 +99,8 @@ class GlobalFifoScheduler(Scheduler):
     def __len__(self) -> int:
         return len(self._queue)
 
-    def pending(self) -> Iterable[Token]:
-        return tuple(self._queue)
+    def pending(self) -> Iterator[Token]:
+        return iter(self._queue)
 
 
 class LifoScheduler(Scheduler):
@@ -101,8 +120,8 @@ class LifoScheduler(Scheduler):
     def __len__(self) -> int:
         return len(self._stack)
 
-    def pending(self) -> Iterable[Token]:
-        return tuple(self._stack)
+    def pending(self) -> Iterator[Token]:
+        return iter(self._stack)
 
 
 class RandomScheduler(Scheduler):
@@ -128,8 +147,8 @@ class RandomScheduler(Scheduler):
     def __len__(self) -> int:
         return len(self._pool)
 
-    def pending(self) -> Iterable[Token]:
-        return tuple(self._pool)
+    def pending(self) -> Iterator[Token]:
+        return iter(self._pool)
 
 
 class Adversary:
@@ -149,33 +168,83 @@ class Adversary:
 
 
 class AdversarialScheduler(Scheduler):
-    """FIFO among tokens the adversary has not blocked."""
+    """FIFO among tokens the adversary has not blocked.
+
+    Amortized O(1) per pop: pending tokens live in three push-ordered
+    queues -- newly pushed (``_incoming``), known-eligible (``_eligible``)
+    and known-blocked (``_blocked``) -- instead of one queue rescanned
+    front-to-back on every pop (the old ``_select``, which made the tree
+    adversary of the Theorem 1 experiment quadratic: its blocked root
+    tokens sat at the head of the queue and were re-inspected on every
+    single step).
+
+    Each pushed token is classified once on the pop after its arrival;
+    eligible tokens are re-checked once more when actually returned, so an
+    adversary that *re-blocks* a previously eligible token stays correct
+    (the token migrates to ``_blocked``).  Only when nothing is eligible is
+    the blocked queue rescanned -- first without consulting ``on_stall``
+    (a state-dependent adversary may have unblocked tokens as a side effect
+    of protocol progress), then, if every pending token is still blocked,
+    ``on_stall`` fires exactly as under the old scan-per-pop contract, so
+    stall counts observed by adversaries are unchanged.
+
+    Selection order matches the old linear scan for *release-only*
+    adversaries (``blocks`` answers only loosen over time, e.g.
+    :class:`~repro.lowerbounds.tree_adversary.TreeAdversary`): tokens
+    become eligible in push order and are served FIFO.  An adversary that
+    re-blocks tokens may observe a different (still valid) serving order
+    among eligible tokens; the model only promises *some* fair order.
+    """
 
     def __init__(self, adversary: Adversary) -> None:
         self.adversary = adversary
-        self._queue: Deque[Token] = deque()
+        self._incoming: Deque[Token] = deque()
+        self._eligible: Deque[Token] = deque()
+        self._blocked: Deque[Token] = deque()
 
     def push(self, token: Token) -> None:
-        self._queue.append(token)
+        self._incoming.append(token)
 
     def pop(self, sim: "Simulator") -> Optional[Token]:
-        while self._queue:
-            token = self._select(sim)
-            if token is not None:
+        blocks = self.adversary.blocks
+        incoming = self._incoming
+        eligible = self._eligible
+        blocked = self._blocked
+        while True:
+            while incoming:
+                token = incoming.popleft()
+                if blocks(token, sim):
+                    blocked.append(token)
+                else:
+                    eligible.append(token)
+            while eligible:
+                token = eligible.popleft()
+                if blocks(token, sim):  # re-blocked since classification
+                    blocked.append(token)
+                    continue
                 return token
+            if not blocked:
+                return None
+            # Everything pending is blocked *per its last classification*.
+            # Re-validate before declaring a stall: protocol progress since
+            # then may have unblocked tokens without any on_stall call.
+            released = False
+            for _ in range(len(blocked)):
+                token = blocked.popleft()
+                if blocks(token, sim):
+                    blocked.append(token)
+                else:
+                    eligible.append(token)
+                    released = True
+            if released:
+                continue
             if not self.adversary.on_stall(sim):
                 return None
-        return None
-
-    def _select(self, sim: "Simulator") -> Optional[Token]:
-        for index, token in enumerate(self._queue):
-            if not self.adversary.blocks(token, sim):
-                del self._queue[index]
-                return token
-        return None
+            # The adversary claims to have released something; loop to
+            # reclassify the blocked queue and find it.
 
     def __len__(self) -> int:
-        return len(self._queue)
+        return len(self._incoming) + len(self._eligible) + len(self._blocked)
 
-    def pending(self) -> Iterable[Token]:
-        return tuple(self._queue)
+    def pending(self) -> Iterator[Token]:
+        return chain(self._eligible, self._blocked, self._incoming)

@@ -100,6 +100,7 @@ class SyncSimulator:
         self.faults = faults
         self.rounds = 0
         self._mailboxes: Dict[NodeId, List[Tuple[NodeId, Any]]] = {}
+        self._pending = 0  # incremental mirror of sum(mailbox lengths)
 
     def add_node(self, node: SyncNode) -> None:
         if node.node_id in self.nodes:
@@ -108,14 +109,21 @@ class SyncSimulator:
         self._mailboxes[node.node_id] = []
 
     def pending(self) -> int:
-        """Messages awaiting delivery at the next round."""
-        return sum(len(box) for box in self._mailboxes.values())
+        """Messages awaiting delivery at the next round.
+
+        O(1): maintained incrementally as deliveries are enqueued.  The
+        previous implementation summed every mailbox's length, which the
+        round loop (and the cluster-merge baseline's drive loop) called
+        once per round -- an O(n) scan per round, O(n * rounds) overall.
+        """
+        return self._pending
 
     def step_round(self) -> int:
         """Execute one global round; return the number of messages sent."""
         self.rounds += 1
         inboxes = self._mailboxes
         self._mailboxes = {node_id: [] for node_id in self.nodes}
+        self._pending = 0
         sent = 0
         for node_id, node in self.nodes.items():
             outbox = node.on_round(self.rounds, inboxes[node_id])
@@ -131,6 +139,7 @@ class SyncSimulator:
                 ):
                     continue
                 self._mailboxes[dst].append((node_id, message))
+                self._pending += 1
         return sent
 
     def run(self, max_rounds: int = 100_000) -> int:
