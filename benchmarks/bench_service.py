@@ -1,0 +1,136 @@
+"""BENCH: steady-state service throughput and SLO conformance.
+
+Runs the ``repro.service`` driver (the ``serve-sim`` regime: open-loop
+arrivals, no terminal quiescence) on a Poisson and a bursty workload,
+times the full injection + execution loop, and appends the headline SLO
+numbers to ``BENCH_service.json`` at the repository root.
+
+Shape criteria (Theorem 8 plus liveness):
+
+* amortized service messages per operation, normalized by
+  ``alpha(m, n + n-hat)``, stays below a small constant;
+* every injected probe completes (moderate load, generous budget);
+* every churn burst reconverges before the next one opens.
+"""
+
+import datetime
+import json
+import pathlib
+import time
+
+from repro.analysis.experiments import build_family
+from repro.core.adhoc import AdhocNetwork
+from repro.service import ServiceDriver, build_workload, summarize_service
+
+BENCH_PATH = pathlib.Path(__file__).parents[1] / "BENCH_service.json"
+
+FAMILY = "sparse-random"
+N = 64
+SEED = 2
+WORKLOADS = (
+    ("poisson", dict(rate=10.0, duration=3000)),
+    ("bursty", dict(rate=8.0, duration=3000)),
+)
+#: msgs/(op * alpha) must stay below this constant (Theorem 8's "O(...)").
+AMORTIZED_CEILING = 8.0
+
+
+def _run_one(kind, params):
+    graph = build_family(FAMILY, N, SEED)
+    workload = build_workload(kind, graph, seed=SEED, **params)
+    net = AdhocNetwork(graph, seed=SEED)
+    driver = ServiceDriver(net, workload, verify_on_reconvergence=(kind == "bursty"))
+    start = time.perf_counter()
+    report = driver.run()
+    wall = time.perf_counter() - start
+    summary = summarize_service(report)
+    return report, summary, wall
+
+
+def test_service_slo_bench(benchmark, record_table):
+    def run():
+        return {kind: _run_one(kind, params) for kind, params in WORKLOADS}
+
+    measured = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    entry_runs = []
+    for kind, (report, summary, wall) in measured.items():
+        assert not report.budget_exhausted, f"{kind}: step budget exhausted"
+        assert summary.probes_incomplete == 0, (
+            f"{kind}: {summary.probes_incomplete} probes never completed"
+        )
+        assert summary.amortized_over_alpha <= AMORTIZED_CEILING, (
+            f"{kind}: msgs/(op*alpha) = {summary.amortized_over_alpha:.2f} "
+            f"exceeds the Theorem 8 ceiling {AMORTIZED_CEILING}"
+        )
+        assert summary.bursts_reconverged == summary.bursts_total, (
+            f"{kind}: only {summary.bursts_reconverged}/{summary.bursts_total} "
+            "bursts reconverged"
+        )
+        steps_per_s = int(report.steps_executed / wall) if wall > 0 else 0
+        rows.append(
+            [
+                kind,
+                summary.operations,
+                report.steps_executed,
+                summary.latency_p50,
+                summary.latency_p95,
+                summary.latency_p99,
+                round(summary.amortized_cost, 2),
+                round(summary.amortized_over_alpha, 2),
+                round(wall * 1e3, 1),
+            ]
+        )
+        entry_runs.append(
+            {
+                "workload": kind,
+                "n": N,
+                "seed": SEED,
+                "operations": summary.operations,
+                "steps_executed": report.steps_executed,
+                "wall_ms": round(wall * 1e3, 3),
+                "steps_per_s": steps_per_s,
+                "latency_p50": summary.latency_p50,
+                "latency_p95": summary.latency_p95,
+                "latency_p99": summary.latency_p99,
+                "throughput_per_kstep": round(summary.throughput_per_kstep, 3),
+                "amortized_msgs_per_op": round(summary.amortized_cost, 3),
+                "amortized_over_alpha": round(summary.amortized_over_alpha, 3),
+                "bursts_reconverged": summary.bursts_reconverged,
+            }
+        )
+
+    record_table(
+        "BENCH-service-slo",
+        [
+            "workload",
+            "ops",
+            "steps",
+            "p50",
+            "p95",
+            "p99",
+            "msgs/op",
+            "msgs/(op*alpha)",
+            "wall-ms",
+        ],
+        rows,
+        notes=(
+            f"Ad-hoc service on {FAMILY} n={N}, open-loop arrivals, virtual-"
+            "time latencies. Criterion: all probes complete, all bursts "
+            f"reconverge, msgs/(op*alpha) <= {AMORTIZED_CEILING:g}."
+        ),
+    )
+
+    data = {}
+    if BENCH_PATH.exists():
+        try:
+            data = json.loads(BENCH_PATH.read_text())
+        except ValueError:
+            data = {}
+    entries = data.get("entries", [])
+    entries.append(
+        {"date": datetime.date.today().isoformat(), "runs": entry_runs}
+    )
+    data["entries"] = entries
+    BENCH_PATH.write_text(json.dumps(data, indent=1) + "\n")

@@ -71,6 +71,7 @@ __all__ = [
     "exp_time_complexity",
     "exp_hbl_algorithms",
     "exp_kp_bit_improvement",
+    "exp_service_slo",
 ]
 
 #: The graph families used across the scaling experiments; every builder
@@ -588,6 +589,65 @@ def exp_chaos(*args: Any, **kwargs: Any) -> Table:
 
 
 # ----------------------------------------------------------------------
+# EXP-19: steady-state service SLOs (Theorem 8 under open-loop load)
+# ----------------------------------------------------------------------
+def exp_service_slo(
+    n: int = 64,
+    rate: float = 8.0,
+    duration: int = 3000,
+    kinds: Sequence[str] = ("poisson", "constant", "bursty"),
+    family: str = "sparse-random",
+    seed: int = 7,
+) -> Table:
+    """Run the discovery service under each workload kind and compare SLOs.
+
+    One row per arrival process at the same offered rate: latency
+    percentiles, throughput, amortized message cost and its
+    ``alpha(m, n + n-hat)``-normalized form (Theorem 8 says the latter
+    stays bounded), plus reconvergence lag for the bursty row.  Imported
+    lazily so the job registry can address this runner without pulling
+    the service package into every sweep worker.
+    """
+    from repro.core.adhoc import AdhocNetwork as _AdhocNetwork
+    from repro.service import ServiceDriver, build_workload, summarize_service
+
+    headers = [
+        "workload",
+        "ops",
+        "p50",
+        "p95",
+        "p99",
+        "probes/kstep",
+        "msgs/op",
+        "msgs/(op*alpha)",
+        "reconv lag max",
+    ]
+    rows: Rows = []
+    for kind in kinds:
+        graph = build_family(family, n, seed)
+        workload = build_workload(kind, graph, rate=rate, duration=duration, seed=seed)
+        net = _AdhocNetwork(graph, seed=seed)
+        report = ServiceDriver(net, workload).run()
+        summary = summarize_service(report)
+        rows.append(
+            [
+                kind,
+                summary.operations,
+                summary.latency_p50 if summary.latency_p50 is not None else "-",
+                summary.latency_p95 if summary.latency_p95 is not None else "-",
+                summary.latency_p99 if summary.latency_p99 is not None else "-",
+                round(summary.throughput_per_kstep, 2),
+                round(summary.amortized_cost, 2),
+                round(summary.amortized_over_alpha, 2),
+                summary.reconvergence_lag_max
+                if summary.reconvergence_lag_max is not None
+                else "-",
+            ]
+        )
+    return headers, rows
+
+
+# ----------------------------------------------------------------------
 # Sweep registry: the seed-taking runners, addressable by name
 # ----------------------------------------------------------------------
 #: Experiments that accept a ``seed`` kwarg, keyed by the short names the
@@ -608,6 +668,7 @@ SWEEPABLE_EXPERIMENTS: Dict[str, Callable[..., Table]] = {
     "hbl-algorithms": exp_hbl_algorithms,
     "kp-bit-improvement": exp_kp_bit_improvement,
     "chaos": exp_chaos,
+    "service-slo": exp_service_slo,
 }
 
 #: Reduced-size kwargs per sweepable experiment (the ``--quick`` sizes of
@@ -627,4 +688,5 @@ QUICK_SWEEP_KWARGS: Dict[str, Dict[str, Any]] = {
     "hbl-algorithms": {"ns": (16, 32)},
     "kp-bit-improvement": {"ns": (64, 128)},
     "chaos": {"scenarios": ("baseline", "loss-10", "crash-2"), "n": 24},
+    "service-slo": {"n": 24, "rate": 6.0, "duration": 800},
 }

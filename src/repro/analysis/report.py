@@ -33,6 +33,7 @@ REPORT_SECTIONS: "List[Tuple[str, str]]" = [
     ("EXP-15", "Section 7: time complexity (O(T + n) vs polylog rounds)"),
     ("EXP-17", "Harchol-Balter/Leighton/Lewin [2]: internal comparison"),
     ("EXP-18", "The bit-complexity improvement over Kutten-Peleg [3]"),
+    ("EXP-19", "Theorem 8 as a service: latency SLOs under open-loop load"),
 ]
 
 

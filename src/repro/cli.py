@@ -18,6 +18,11 @@ Commands
                   timeline (optionally under a fault scenario and with
                   the wall-time profiler), ``summarize`` a timeline file,
                   ``diff`` two timelines
+``serve-sim``     run the Dynamic Ad-hoc system as a steady-state
+                  service under an open-loop workload (Poisson /
+                  constant / bursty arrivals) and print latency
+                  percentiles, throughput, reconvergence lag, and the
+                  Theorem 8 amortized-cost curve
 
 Everything the CLI prints comes from the same experiment runners the
 benchmarks use, so numbers match ``benchmarks/results/``.
@@ -44,6 +49,7 @@ from repro.analysis.experiments import (
     exp_message_lemmas,
     exp_near_linear_scaling,
     exp_sequential_unionfind,
+    exp_service_slo,
     exp_strongly_connected,
     exp_time_complexity,
     exp_tree_lower_bound,
@@ -118,6 +124,10 @@ EXPERIMENTS: Dict[str, Tuple[Callable, Callable]] = {
     "EXP-18": (
         lambda: exp_kp_bit_improvement(ns=(128, 256, 512, 1024, 2048)),
         lambda: exp_kp_bit_improvement(ns=(64, 128)),
+    ),
+    "EXP-19": (
+        lambda: exp_service_slo(n=128, rate=8.0, duration=4000),
+        lambda: exp_service_slo(n=24, rate=6.0, duration=800),
     ),
 }
 
@@ -356,6 +366,83 @@ def _build_parser() -> argparse.ArgumentParser:
     diff_p = trace_sub.add_parser("diff", help="compare two timeline files")
     diff_p.add_argument("timeline_a")
     diff_p.add_argument("timeline_b")
+
+    serve_p = sub.add_parser(
+        "serve-sim",
+        help="steady-state discovery service under open-loop load",
+        description=(
+            "Run the Dynamic Ad-hoc system (Section 6) as a long-running "
+            "service: inject a seeded open-loop arrival schedule of joins, "
+            "link additions, and leader probes in virtual time -- no "
+            "terminal quiescence required -- and report probe latency "
+            "percentiles (p50/p95/p99), throughput, reconvergence lag "
+            "after churn bursts, and the amortized message cost curve "
+            "that Theorem 8 bounds by O(m alpha(m, n + n-hat)).  Rates "
+            "are events per 1000 virtual steps.  Output is a "
+            "deterministic function of the seed."
+        ),
+    )
+    serve_p.add_argument(
+        "--workload",
+        choices=("poisson", "constant", "bursty"),
+        default="poisson",
+        help="arrival process (default: poisson)",
+    )
+    serve_p.add_argument(
+        "--rate",
+        type=float,
+        default=5.0,
+        help="mean arrival rate in events per 1000 virtual steps",
+    )
+    serve_p.add_argument(
+        "--duration",
+        type=int,
+        default=2000,
+        help="length of the arrival window in virtual steps",
+    )
+    serve_p.add_argument("--seed", type=int, default=0)
+    serve_p.add_argument(
+        "--family", choices=sorted(GRAPH_FAMILIES), default="sparse-random"
+    )
+    serve_p.add_argument("--n", type=int, default=64, help="initial network size")
+    serve_p.add_argument(
+        "--mix",
+        default=None,
+        metavar="JOIN:LINK:PROBE",
+        help="relative event-kind weights (default 0.2:0.2:0.6)",
+    )
+    serve_p.add_argument(
+        "--burst",
+        default=None,
+        metavar="EVERY:LEN:FACTOR",
+        help="churn-burst shape (implies --workload bursty): a LEN-step "
+        "window every EVERY steps at FACTOR times the base rate",
+    )
+    serve_p.add_argument(
+        "--step-budget",
+        type=int,
+        default=None,
+        help="hard cap on executed steps (default: derived from the "
+        "workload; exhaustion is reported, not raised)",
+    )
+    serve_p.add_argument(
+        "--cadence",
+        type=int,
+        default=None,
+        help="metrics sampling cadence in virtual steps (default: 64)",
+    )
+    serve_p.add_argument(
+        "--verify",
+        action="store_true",
+        help="run the full discovery invariants at each post-burst "
+        "reconvergence point (slow)",
+    )
+    serve_p.add_argument(
+        "--obs-out",
+        default=None,
+        help="write the run's JSONL timeline (one service-op event per "
+        "completed probe plus sampled metrics) to this path",
+    )
     return parser
 
 
@@ -875,6 +962,81 @@ def _trace_record(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_mix(spec: str):
+    from repro.service import EventMix
+
+    parts = spec.split(":")
+    if len(parts) != 3:
+        raise SystemExit(f"--mix wants JOIN:LINK:PROBE, got {spec!r}")
+    try:
+        mix = EventMix(*(float(part) for part in parts))
+        mix.validate()
+    except ValueError as exc:
+        raise SystemExit(f"bad --mix {spec!r}: {exc}")
+    return mix
+
+
+def _parse_burst(spec: str):
+    parts = spec.split(":")
+    if len(parts) != 3:
+        raise SystemExit(f"--burst wants EVERY:LEN:FACTOR, got {spec!r}")
+    try:
+        return int(parts[0]), int(parts[1]), float(parts[2])
+    except ValueError as exc:
+        raise SystemExit(f"bad --burst {spec!r}: {exc}")
+
+
+def _cmd_serve_sim(args: argparse.Namespace) -> int:
+    from repro.core.adhoc import AdhocNetwork
+    from repro.obs.metrics import DEFAULT_CADENCE
+    from repro.obs.timeline import write_timeline
+    from repro.service import (
+        ServiceDriver,
+        amortized_table,
+        build_workload,
+        service_timeline,
+        slo_table,
+        summarize_service,
+    )
+
+    kind = args.workload
+    kwargs = {}
+    if args.mix is not None:
+        kwargs["mix"] = _parse_mix(args.mix)
+    if args.burst is not None:
+        kind = "bursty"
+        every, length, factor = _parse_burst(args.burst)
+        kwargs.update(burst_every=every, burst_len=length, burst_factor=factor)
+
+    graph = build_family(args.family, args.n, seed=args.seed)
+    workload = build_workload(
+        kind, graph, rate=args.rate, duration=args.duration, seed=args.seed, **kwargs
+    )
+    print(workload.describe())
+
+    net = AdhocNetwork(graph, seed=args.seed)
+    driver = ServiceDriver(
+        net,
+        workload,
+        step_budget=args.step_budget,
+        cadence=args.cadence if args.cadence is not None else DEFAULT_CADENCE,
+        verify_on_reconvergence=args.verify,
+    )
+    report = driver.run()
+    summary = summarize_service(report)
+
+    print()
+    print(render_table(*slo_table(report, summary)))
+    if report.curve:
+        print()
+        print("Amortized cost curve (Theorem 8):")
+        print(render_table(*amortized_table(report)))
+    if args.obs_out:
+        path = write_timeline(args.obs_out, service_timeline(report))
+        print(f"\ntimeline written to {path}")
+    return 0
+
+
 def _cmd_families(_args: argparse.Namespace) -> int:
     for name in sorted(GRAPH_FAMILIES):
         example = build_family(name, 64, seed=0)
@@ -895,6 +1057,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "sweep": _cmd_sweep,
         "chaos": _cmd_chaos,
         "trace": _cmd_trace,
+        "serve-sim": _cmd_serve_sim,
     }[args.command]
     return handler(args)
 

@@ -29,7 +29,42 @@ from repro.sim.trace import MessageStats
 
 NodeId = Hashable
 
-__all__ = ["AdhocNetwork", "run_adhoc"]
+__all__ = ["AdhocNetwork", "ProbeHandle", "run_adhoc"]
+
+
+class ProbeHandle:
+    """A probe in flight: poll :attr:`done` as the simulator advances.
+
+    The non-blocking face of :meth:`AdhocNetwork.probe`: the steady-state
+    service driver injects probes without running to quiescence and needs
+    to observe, step by step, when each answer lands.  Leaders answer
+    immediately (zero messages), so a handle may be born ``done``.
+    """
+
+    __slots__ = ("node", "_index", "_immediate")
+
+    def __init__(self, node, index: int, immediate=None) -> None:
+        self.node = node
+        self._index = index
+        self._immediate = immediate
+
+    @property
+    def done(self) -> bool:
+        return self._immediate is not None or len(self.node.probe_results) > self._index
+
+    @property
+    def immediate(self) -> bool:
+        """Whether the probe was answered locally, with zero messages."""
+        return self._immediate is not None
+
+    @property
+    def answer(self) -> Optional[Tuple[NodeId, FrozenSet[NodeId]]]:
+        """``(leader_id, ids)`` once :attr:`done`, else ``None``."""
+        if self._immediate is not None:
+            return self._immediate
+        if len(self.node.probe_results) > self._index:
+            return self.node.probe_results[self._index]
+        return None
 
 
 class AdhocNetwork:
@@ -93,14 +128,35 @@ class AdhocNetwork:
         Returns ``(leader_id, ids)``.  Runs the system to quiescence so the
         probe (and any discovery work still in flight) completes.
         """
-        node = self.nodes[node_id]
-        immediate = node.initiate_probe()
-        if immediate is not None:
-            return immediate
+        handle = self.probe_async(node_id)
+        if handle.done:
+            return handle.answer
         self.run()
-        if not node.probe_results:
+        if not handle.done:
             raise RuntimeError(f"probe from {node_id!r} produced no reply")
-        return node.probe_results[-1]
+        return handle.answer
+
+    def probe_async(self, node_id: NodeId) -> ProbeHandle:
+        """Inject a probe without running the system; returns a handle.
+
+        The open-loop seam: the service driver schedules probes at their
+        arrival times and keeps stepping the simulator, polling each
+        handle for completion to measure per-probe virtual-time latency.
+        Raises :class:`~repro.core.node.ProtocolError` if the node is
+        asleep or already has a probe outstanding -- call
+        :meth:`can_probe` first to defer instead.
+        """
+        node = self.nodes[node_id]
+        baseline = len(node.probe_results)
+        immediate = node.initiate_probe()
+        return ProbeHandle(node, baseline, immediate)
+
+    def can_probe(self, node_id: NodeId) -> bool:
+        """Whether :meth:`probe_async` would be accepted right now."""
+        node = self.nodes.get(node_id)
+        if node is None or not node.awake:
+            return False
+        return node.is_leader or not node.probe_outstanding
 
     # ------------------------------------------------------------------
     # Dynamic additions (Section 6)

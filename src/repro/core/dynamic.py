@@ -29,7 +29,13 @@ from repro.verification.invariants import verify_discovery
 NodeId = Hashable
 Event = Tuple  # ("join", id, known) | ("link", u, v) | ("probe", id)
 
-__all__ = ["EventCost", "ChurnOutcome", "ChurnScenario", "random_churn"]
+__all__ = [
+    "EventCost",
+    "ChurnOutcome",
+    "ChurnScenario",
+    "EventFactory",
+    "random_churn",
+]
 
 
 @dataclass(frozen=True)
@@ -84,7 +90,30 @@ class ChurnScenario:
         self._validate()
 
     def _validate(self) -> None:
-        known_ids = set(self.initial_graph.nodes)
+        self.validate_against(self.initial_graph.nodes)
+
+    def validate_against(self, initial_ids: Sequence[NodeId]) -> None:
+        """Check every event is well-formed over ``initial_ids``.
+
+        Raised errors name the offending event index; a reference to a
+        node that only *joins later in the same scenario* says so
+        explicitly -- replaying such a script would otherwise surface as
+        an opaque ProtocolError (or KeyError) deep inside the protocol,
+        long after the mistake was made.
+        """
+        join_at = {
+            event[1]: index
+            for index, event in enumerate(self.events)
+            if event and event[0] == "join"
+        }
+
+        def describe(node_id: NodeId, index: int) -> str:
+            later = join_at.get(node_id)
+            if later is not None and later > index:
+                return f"{node_id!r} joins later (event {later})"
+            return f"{node_id!r} unknown"
+
+        known_ids = set(initial_ids)
         for index, event in enumerate(self.events):
             kind = event[0]
             if kind == "join":
@@ -94,7 +123,8 @@ class ChurnScenario:
                 unknown = [other for other in known if other not in known_ids]
                 if unknown:
                     raise ValueError(
-                        f"event {index}: join references unknown ids {unknown}"
+                        f"event {index}: join references "
+                        + ", ".join(describe(other, index) for other in unknown)
                     )
                 known_ids.add(node_id)
             elif kind == "link":
@@ -102,12 +132,15 @@ class ChurnScenario:
                 for endpoint in (u, v):
                     if endpoint not in known_ids:
                         raise ValueError(
-                            f"event {index}: link endpoint {endpoint!r} unknown"
+                            f"event {index}: link endpoint "
+                            f"{describe(endpoint, index)}"
                         )
             elif kind == "probe":
                 _, node_id = event
                 if node_id not in known_ids:
-                    raise ValueError(f"event {index}: probe target {node_id!r} unknown")
+                    raise ValueError(
+                        f"event {index}: probe target {describe(node_id, index)}"
+                    )
             else:
                 raise ValueError(f"event {index}: unknown kind {kind!r}")
 
@@ -122,6 +155,13 @@ class ChurnScenario:
         With ``verify_each`` the full quiescence invariants are checked
         after every event (slow; used in tests).
         """
+        if network is not None:
+            # The constructor validated against ``initial_graph``; a caller-
+            # supplied network may hold a different node set, so re-validate
+            # against what the events will actually run on -- a mismatch
+            # would otherwise fail mid-replay with an opaque KeyError or
+            # ProtocolError after some events already mutated the network.
+            self.validate_against(network.graph.nodes)
         net = network or AdhocNetwork(self.initial_graph, seed=self.seed)
         net.run()
         outcome = ChurnOutcome()
@@ -147,6 +187,68 @@ class ChurnScenario:
         return net, outcome
 
 
+class EventFactory:
+    """Seeded generator of well-formed churn events over a growing id set.
+
+    The event-construction seam shared by :func:`random_churn` (scripted
+    scenarios) and :mod:`repro.service.workload` (open-loop arrival
+    schedules): both need joins with fresh orderable ids that know a few
+    existing nodes, links between existing endpoints, and probes of
+    existing nodes, all drawn from one seeded RNG so the resulting event
+    sequence is a pure function of ``(initial ids, seed, call order)``.
+    """
+
+    def __init__(self, initial_ids: Sequence[NodeId], rng: random.Random) -> None:
+        self.rng = rng
+        self.ids: List[NodeId] = list(initial_ids)
+        self._existing = set(self.ids)
+        # Ids within one system must stay mutually orderable: integer
+        # joiner ids for integer graphs, string ids otherwise.
+        if self.ids and all(isinstance(node, int) for node in self.ids):
+            self._counter = max(self.ids) + 1
+            self._fresh_id = lambda k: k
+        else:
+            self._counter = 0
+            self._fresh_id = lambda k: f"joiner{k}"
+
+    def join(self) -> Event:
+        """A new node joins, knowing 1-3 uniformly chosen existing ids."""
+        while self._fresh_id(self._counter) in self._existing:  # pragma: no cover
+            self._counter += 1
+        node_id = self._fresh_id(self._counter)
+        self._counter += 1
+        known = self.rng.sample(self.ids, k=min(len(self.ids), self.rng.randint(1, 3)))
+        self._existing.add(node_id)
+        self.ids.append(node_id)
+        return ("join", node_id, tuple(known))
+
+    def link(self) -> Event:
+        """A new knowledge edge between uniform existing endpoints."""
+        if len(self.ids) >= 2:
+            u, v = self.rng.sample(self.ids, k=2)
+        else:
+            u = v = self.ids[0]
+        return ("link", u, v)
+
+    def probe(self) -> Event:
+        """A leader probe from a uniform existing node."""
+        return ("probe", self.rng.choice(self.ids))
+
+    def draw(
+        self, join_weight: float, link_weight: float, probe_weight: float
+    ) -> Event:
+        """One event with kind chosen by weight (weights need not sum to 1)."""
+        total = join_weight + link_weight + probe_weight
+        if total <= 0:
+            raise ValueError("at least one weight must be positive")
+        roll = self.rng.random() * total
+        if roll < join_weight:
+            return self.join()
+        if roll < join_weight + link_weight:
+            return self.link()
+        return self.probe()
+
+
 def random_churn(
     initial_graph: KnowledgeGraph,
     n_events: int,
@@ -163,35 +265,8 @@ def random_churn(
     """
     if n_events < 0:
         raise ValueError(f"n_events must be >= 0, got {n_events}")
-    total = join_weight + link_weight + probe_weight
-    if total <= 0:
-        raise ValueError("at least one weight must be positive")
-    rng = random.Random(seed)
-    ids: List[NodeId] = list(initial_graph.nodes)
-    # Ids within one system must stay mutually orderable: integer joiner
-    # ids for integer graphs, string ids otherwise.
-    if ids and all(isinstance(node, int) for node in ids):
-        counter = max(ids) + 1
-        fresh_id = lambda k: k  # noqa: E731 - tiny local adapter
-    else:
-        counter = 0
-        fresh_id = lambda k: f"joiner{k}"  # noqa: E731
-    existing = set(ids)
-    events: List[Event] = []
-    for _ in range(n_events):
-        roll = rng.random() * total
-        if roll < join_weight:
-            while fresh_id(counter) in existing:  # pragma: no cover - defensive
-                counter += 1
-            node_id = fresh_id(counter)
-            counter += 1
-            existing.add(node_id)
-            known = rng.sample(ids, k=min(len(ids), rng.randint(1, 3)))
-            events.append(("join", node_id, tuple(known)))
-            ids.append(node_id)
-        elif roll < join_weight + link_weight:
-            u, v = rng.sample(ids, k=2) if len(ids) >= 2 else (ids[0], ids[0])
-            events.append(("link", u, v))
-        else:
-            events.append(("probe", rng.choice(ids)))
+    factory = EventFactory(initial_graph.nodes, random.Random(seed))
+    events: List[Event] = [
+        factory.draw(join_weight, link_weight, probe_weight) for _ in range(n_events)
+    ]
     return ChurnScenario(initial_graph, events, seed=seed)

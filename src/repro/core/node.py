@@ -806,6 +806,16 @@ class DiscoveryNode(SimNode):
     # ------------------------------------------------------------------
     # Ad-hoc probes (Section 4.5.2)
     # ------------------------------------------------------------------
+    @property
+    def probe_outstanding(self) -> bool:
+        """Whether this node is still waiting on a probe reply.
+
+        A node carries at most one probe of its own at a time; callers
+        that inject probes asynchronously (the service driver) check this
+        to defer rather than trip :meth:`initiate_probe`'s guard.
+        """
+        return self._probe_outstanding
+
     def initiate_probe(self) -> Optional[Tuple[NodeId, FrozenSet[NodeId]]]:
         """Request the current id snapshot of this node's component.
 

@@ -27,7 +27,8 @@ __all__ = ["EVENT_KINDS", "RunEvent", "Recorder"]
 #: The event taxonomy (DESIGN.md sections 10-11).  ``send`` .. ``timer`` are
 #: transport mechanics, ``state-transition``/``phase-change`` are protocol
 #: progress, ``fault-action``/``retransmit`` are the fault layer's doing,
-#: ``job`` is the sweep engine's job-lifecycle analogue, and
+#: ``job`` is the sweep engine's job-lifecycle analogue, ``service-op`` is
+#: a completed service operation (``repro.service``; value = latency), and
 #: ``crash``/``recover``/``epoch-fence`` belong to the crash-recovery model.
 EVENT_KINDS = (
     "send",
@@ -40,6 +41,7 @@ EVENT_KINDS = (
     "fault-action",
     "retransmit",
     "job",
+    "service-op",
     "crash",
     "recover",
     "epoch-fence",

@@ -18,7 +18,7 @@ and round-trip losslessly.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple
+from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
 from repro.obs.events import Recorder, RunEvent
 
@@ -94,6 +94,53 @@ class Histogram:
         counts = self._fn() if self._fn is not None else self._counts
         return {str(key): count for key, count in sorted(counts.items(), key=lambda kv: str(kv[0]))}
 
+    # -- order statistics ----------------------------------------------
+    def total(self) -> int:
+        """Number of observations across all buckets."""
+        counts = self._fn() if self._fn is not None else self._counts
+        return sum(counts.values())
+
+    def percentile(self, q: float) -> Optional[float]:
+        """The ``q``-th percentile of the observed distribution.
+
+        Keys must be numeric (the histogram is treated as an exact
+        discrete distribution: the result is the smallest observed value
+        whose cumulative count covers ``q`` percent of observations --
+        the "nearest-rank" definition, which keeps results exact for
+        integer-valued series like latencies in steps).  Returns ``None``
+        on an empty histogram; raises :class:`TypeError` on non-numeric
+        keys, since a percentile of e.g. a state census is meaningless.
+        """
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile q must be in [0, 100], got {q}")
+        counts = self._fn() if self._fn is not None else self._counts
+        if not counts:
+            return None
+        for key in counts:
+            if isinstance(key, bool) or not isinstance(key, (int, float)):
+                raise TypeError(
+                    f"percentile needs numeric histogram keys, got {key!r}"
+                )
+        total = sum(counts.values())
+        # Nearest-rank: the value at position ceil(q/100 * total), 1-based.
+        rank = max(1, -(-q * total // 100))
+        cumulative = 0
+        for value in sorted(counts):
+            cumulative += counts[value]
+            if cumulative >= rank:
+                return float(value)
+        return float(max(counts))  # pragma: no cover - rank <= total always
+
+    def quantiles(
+        self, qs: Sequence[float] = (50.0, 95.0, 99.0)
+    ) -> Dict[str, Optional[float]]:
+        """The standard SLO quantiles as ``{"p50": ..., ...}``.
+
+        Convenience over :meth:`percentile`; the default set is what the
+        service latency tables report.
+        """
+        return {f"p{q:g}": self.percentile(q) for q in qs}
+
 
 class MetricsRegistry:
     """Named instruments, snapshot together by :meth:`sample`."""
@@ -153,8 +200,17 @@ class MetricsTimeline:
         self._next_due = 0
 
     def on_event(self, event: RunEvent) -> None:
-        if event.step >= self._next_due:
-            self._take(event.step)
+        self.tick(event.step)
+
+    def tick(self, step: int) -> None:
+        """Advance the sampling clock to ``step``; sample if one is due.
+
+        The event-bus path goes through :meth:`on_event`; drivers that own
+        their virtual clock (the steady-state service loop) call ``tick``
+        directly each step, paying one comparison when no sample is due.
+        """
+        if step >= self._next_due:
+            self._take(step)
 
     def _take(self, step: int) -> None:
         self.samples.append(MetricsSample(step, self.registry.sample()))

@@ -1,0 +1,62 @@
+"""``repro.service`` -- the discovery system run as a *service*.
+
+The paper's Dynamic Ad-hoc analysis (Theorem 8) is a statement about a
+system absorbing an unbounded stream of joins, link additions, and
+leader probes -- not about a single run to quiescence.  This package is
+that regime made executable:
+
+* :mod:`repro.service.workload` -- seeded open-loop arrival schedules
+  (Poisson, constant-rate, bursty on-off) in virtual time;
+* :mod:`repro.service.driver` -- the steady-state run loop: injects
+  events at their arrivals with no terminal quiescence requirement,
+  tracks each probe from injection to answer, enforces a step budget;
+* :mod:`repro.service.slo` -- latency percentiles (p50/p95/p99),
+  throughput, reconvergence lag after churn bursts, and the amortized
+  message cost curve that empirically validates Theorem 8's
+  ``O(m * alpha(m, n + n-hat))`` bound.
+
+``python -m repro serve-sim`` is the CLI face; DESIGN.md section 13
+documents the architecture.
+"""
+
+from repro.service.driver import (
+    BurstRecord,
+    ProbeRecord,
+    ServiceDriver,
+    ServiceReport,
+)
+from repro.service.slo import (
+    SLOSummary,
+    amortized_table,
+    service_timeline,
+    slo_table,
+    summarize_service,
+)
+from repro.service.workload import (
+    EventMix,
+    ScheduledEvent,
+    Workload,
+    build_workload,
+    bursty_workload,
+    constant_workload,
+    poisson_workload,
+)
+
+__all__ = [
+    "BurstRecord",
+    "ProbeRecord",
+    "ServiceDriver",
+    "ServiceReport",
+    "SLOSummary",
+    "summarize_service",
+    "slo_table",
+    "amortized_table",
+    "service_timeline",
+    "EventMix",
+    "ScheduledEvent",
+    "Workload",
+    "build_workload",
+    "poisson_workload",
+    "constant_workload",
+    "bursty_workload",
+]

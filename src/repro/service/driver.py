@@ -1,0 +1,396 @@
+"""The steady-state service driver: open-loop load, no terminal quiescence.
+
+Every other harness in the repo runs *convergence* experiments -- start,
+quiesce, verify.  :class:`ServiceDriver` instead treats the Dynamic
+Ad-hoc system (Section 6) as a long-running service: it replays a
+:class:`~repro.service.workload.Workload` against a live
+:class:`~repro.core.adhoc.AdhocNetwork`, injecting each join / link /
+probe at its virtual-time arrival while the simulator keeps executing,
+and tracks every probe from injection to answer.
+
+The service clock
+-----------------
+Virtual time is the executed-step counter: each atomic delivery or
+wake-up advances the clock by one.  When the system goes idle *between*
+arrivals the clock jumps forward to the next arrival (idle virtual time
+is free -- nothing is pending, so no steps exist to execute).  A probe's
+latency is therefore "steps of system work between injection and
+answer", the asynchronous analogue of wall-clock service latency.
+
+Probes that cannot be injected yet -- the target is still asleep (a join
+whose wake-up has not fired) or already has a probe of its own
+outstanding (the protocol carries one per initiator) -- are *deferred*
+and retried a few steps later; the deferral count is part of the report,
+since under overload it is exactly the queueing the open-loop model is
+supposed to expose.
+
+Budgets
+-------
+A steady-state run cannot rely on quiescence to terminate, so the driver
+enforces a hard ``step_budget``; exhausting it sets
+``report.budget_exhausted`` rather than raising -- for an overloaded
+service that *is* the result.  After the workload window closes the
+driver drains remaining in-flight work (bounded by the same budget) so
+late probes still resolve to latencies instead of being lost.
+"""
+
+from __future__ import annotations
+
+import heapq
+from bisect import bisect_left
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.adhoc import AdhocNetwork, ProbeHandle
+from repro.core.dynamic import NodeId
+from repro.obs.metrics import (
+    DEFAULT_CADENCE,
+    Histogram,
+    MetricsRegistry,
+    MetricsTimeline,
+)
+from repro.service.workload import Workload
+from repro.verification.invariants import verify_discovery
+
+__all__ = ["ProbeRecord", "BurstRecord", "ServiceReport", "ServiceDriver"]
+
+#: Steps between retries of a deferred probe.
+DEFER_RETRY_GAP = 8
+#: A probe still deferred after this many retries is dropped (counted).
+DEFER_MAX_RETRIES = 64
+
+
+@dataclass
+class ProbeRecord:
+    """One tracked probe: injection, completion, latency (virtual steps)."""
+
+    at: int
+    target: NodeId
+    completed_at: Optional[int] = None
+    immediate: bool = False
+
+    @property
+    def latency(self) -> Optional[int]:
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.at
+
+
+@dataclass
+class BurstRecord:
+    """One churn-burst window and the service's recovery from it."""
+
+    start: int
+    end: int
+    reconverged_at: Optional[int] = None
+    verified: Optional[bool] = None
+
+    @property
+    def lag(self) -> Optional[int]:
+        """Steps past the window's close until the census reconverged."""
+        if self.reconverged_at is None:
+            return None
+        return max(0, self.reconverged_at - self.end)
+
+
+@dataclass
+class ServiceReport:
+    """Everything one steady-state run produced."""
+
+    workload_kind: str
+    rate: float
+    duration: int
+    seed: int
+    n_initial: int
+    warmup_steps: int = 0
+    warmup_messages: int = 0
+    clock: int = 0
+    steps_executed: int = 0
+    step_budget: int = 0
+    budget_exhausted: bool = False
+    injected: Dict[str, int] = field(default_factory=dict)
+    deferrals: int = 0
+    dropped_probes: int = 0
+    probes: List[ProbeRecord] = field(default_factory=list)
+    bursts: List[BurstRecord] = field(default_factory=list)
+    #: cumulative ``(operations injected, service messages)`` checkpoints,
+    #: roughly geometric in operation count -- the amortized-cost curve.
+    curve: List[Tuple[int, int]] = field(default_factory=list)
+    service_messages: int = 0
+    service_bits: int = 0
+    metrics: Optional[MetricsTimeline] = None
+
+    @property
+    def operations(self) -> int:
+        """Total injected operations (joins + links + probes)."""
+        return sum(self.injected.values())
+
+    @property
+    def completed_probes(self) -> List[ProbeRecord]:
+        return [p for p in self.probes if p.completed_at is not None]
+
+    @property
+    def incomplete_probes(self) -> int:
+        return sum(1 for p in self.probes if p.completed_at is None)
+
+    def latency_histogram(self) -> Histogram:
+        """Completed-probe latencies as an exact discrete histogram."""
+        histogram = Histogram()
+        for probe in self.completed_probes:
+            histogram.observe(probe.latency)
+        return histogram
+
+    @property
+    def amortized_cost(self) -> float:
+        """Service messages per injected operation (Theorem 8's quantity)."""
+        return self.service_messages / max(1, self.operations)
+
+
+class ServiceDriver:
+    """Drive an :class:`AdhocNetwork` under an open-loop workload.
+
+    Parameters
+    ----------
+    network:
+        A (fresh or pre-warmed) Dynamic Ad-hoc handle.  The driver runs
+        it to quiescence once before the clock starts -- the initial
+        census is warmup, not service load.
+    workload:
+        The arrival schedule to inject.
+    step_budget:
+        Hard cap on executed steps (warmup excluded); ``None`` derives a
+        generous default from the duration and workload size.
+    cadence:
+        Virtual-time sampling cadence for the metrics timeline (the same
+        meaning as :func:`repro.obs.metrics.attach_metrics`).
+    verify_on_reconvergence:
+        After each churn burst's window closes and the system next goes
+        quiescent, run the full discovery invariants (slow; tests use it
+        to pin that the service returns to a *converged* census between
+        bursts).
+    """
+
+    def __init__(
+        self,
+        network: AdhocNetwork,
+        workload: Workload,
+        *,
+        step_budget: Optional[int] = None,
+        cadence: int = DEFAULT_CADENCE,
+        verify_on_reconvergence: bool = False,
+    ) -> None:
+        self.net = network
+        self.workload = workload
+        if step_budget is None:
+            # Enough for every operation to cost hundreds of steps plus a
+            # drain tail; an overloaded service hits this and reports it.
+            step_budget = 50_000 + 100 * workload.duration + 500 * len(workload.events)
+        if step_budget < 1:
+            raise ValueError(f"step_budget must be >= 1, got {step_budget}")
+        self.step_budget = step_budget
+        self.verify_on_reconvergence = verify_on_reconvergence
+        self._cadence = cadence
+        self._clock = 0
+
+    # -- metrics wiring -------------------------------------------------
+    def _build_metrics(self) -> Tuple[MetricsRegistry, MetricsTimeline]:
+        sim = self.net.sim
+        registry = MetricsRegistry()
+        registry.gauge("service-clock", lambda: self._clock)
+        registry.gauge("in-flight", sim.in_flight)
+        registry.gauge("messages-total", lambda: sim.stats.total_messages)
+        registry.gauge("nodes-total", lambda: len(sim.nodes))
+        self._c_join = registry.counter("injected-joins")
+        self._c_link = registry.counter("injected-links")
+        self._c_probe = registry.counter("injected-probes")
+        self._c_done = registry.counter("probes-completed")
+        self._c_defer = registry.counter("probes-deferred")
+        self._h_latency = registry.histogram("probe-latency")
+        return registry, MetricsTimeline(registry, cadence=self._cadence)
+
+    # -- the run loop ---------------------------------------------------
+    def run(self) -> ServiceReport:
+        net, workload = self.net, self.workload
+        sim = net.sim
+        report = ServiceReport(
+            workload_kind=workload.kind,
+            rate=workload.rate,
+            duration=workload.duration,
+            seed=workload.seed,
+            n_initial=len(net.graph.nodes),
+            step_budget=self.step_budget,
+            bursts=[BurstRecord(start, end) for start, end in workload.bursts],
+        )
+        report.warmup_steps = net.run()
+        report.warmup_messages = sim.stats.total_messages
+        warmup_stats = sim.stats.snapshot()
+        warmup_bits = sim.stats.total_bits
+
+        _registry, metrics = self._build_metrics()
+        report.metrics = metrics
+
+        events = workload.events
+        arrival_times = [scheduled.at for scheduled in events]
+        # A burst is "fully injected" once the arrival index passes every
+        # event due strictly before its window closes.
+        burst_thresholds = [
+            bisect_left(arrival_times, burst.end) for burst in report.bursts
+        ]
+        pending_bursts = list(range(len(report.bursts)))
+
+        next_index = 0
+        retries: List[Tuple[int, int]] = []  # (due step, probe-list index)
+        retry_counts: Dict[int, int] = {}
+        outstanding: Dict[int, ProbeHandle] = {}  # probe-list index -> handle
+        next_curve_at = 1
+        self._clock = 0
+
+        def inject(event) -> None:
+            kind = event[0]
+            report.injected[kind] = report.injected.get(kind, 0) + 1
+            if kind == "join":
+                _, node_id, known = event
+                net.add_node(node_id, known)
+                self._c_join.inc()
+            elif kind == "link":
+                _, u, v = event
+                net.add_link(u, v)
+                self._c_link.inc()
+            else:
+                self._inject_probe(event[1], report, outstanding, retries, retry_counts)
+
+        def checkpoint_curve(force: bool = False) -> None:
+            nonlocal next_curve_at
+            operations = report.operations
+            if operations < 1:
+                return
+            messages = sim.stats.total_messages - report.warmup_messages
+            if operations >= next_curve_at:
+                report.curve.append((operations, messages))
+                while next_curve_at <= operations:
+                    next_curve_at *= 2
+            elif force and (
+                not report.curve or report.curve[-1][0] != operations
+            ):
+                report.curve.append((operations, messages))
+
+        while True:
+            # 1. inject everything due now: scheduled arrivals, then retries
+            injected_any = False
+            while next_index < len(events) and events[next_index].at <= self._clock:
+                inject(events[next_index].event)
+                next_index += 1
+                injected_any = True
+            while retries and retries[0][0] <= self._clock:
+                _due, probe_index = heapq.heappop(retries)
+                self._retry_probe(
+                    probe_index, report, outstanding, retries, retry_counts
+                )
+                injected_any = True
+            if injected_any:
+                checkpoint_curve()
+
+            # 2. execute one atomic step
+            if report.steps_executed >= self.step_budget:
+                report.budget_exhausted = True
+                break
+            if sim.step():
+                report.steps_executed += 1
+                self._clock += 1
+                metrics.tick(self._clock)
+                if outstanding:
+                    self._collect_completions(report, outstanding)
+                continue
+
+            # 3. quiescent: settle bursts, then jump the idle clock
+            self._settle_bursts(pending_bursts, burst_thresholds, next_index, report)
+            next_due = None
+            if next_index < len(events):
+                next_due = events[next_index].at
+            if retries:
+                retry_due = retries[0][0]
+                next_due = retry_due if next_due is None else min(next_due, retry_due)
+            if next_due is None:
+                break  # schedule exhausted and the system is at rest
+            self._clock = max(self._clock, next_due)
+            metrics.tick(self._clock)
+
+        delta = sim.stats.delta_since(warmup_stats)
+        report.clock = self._clock
+        report.service_messages = delta.total_messages
+        report.service_bits = sim.stats.total_bits - warmup_bits
+        checkpoint_curve(force=True)
+        metrics.finish(self._clock)
+        return report
+
+    # -- probe bookkeeping ----------------------------------------------
+    def _inject_probe(self, target, report, outstanding, retries, retry_counts):
+        if self.net.can_probe(target):
+            index = len(report.probes)
+            record = ProbeRecord(at=self._clock, target=target)
+            report.probes.append(record)
+            handle = self.net.probe_async(target)
+            self._c_probe.inc()
+            if handle.done:
+                record.completed_at = self._clock
+                record.immediate = True
+                self._finish_probe(record)
+            else:
+                outstanding[index] = handle
+            return
+        # Target asleep or busy: park the probe and retry a little later.
+        index = len(report.probes)
+        report.probes.append(ProbeRecord(at=self._clock, target=target))
+        self._c_probe.inc()
+        self._defer_probe(index, report, retries, retry_counts)
+
+    def _defer_probe(self, probe_index, report, retries, retry_counts):
+        attempts = retry_counts.get(probe_index, 0)
+        if attempts >= DEFER_MAX_RETRIES:
+            report.dropped_probes += 1
+            return
+        retry_counts[probe_index] = attempts + 1
+        report.deferrals += 1
+        self._c_defer.inc()
+        heapq.heappush(retries, (self._clock + DEFER_RETRY_GAP, probe_index))
+
+    def _retry_probe(self, probe_index, report, outstanding, retries, retry_counts):
+        record = report.probes[probe_index]
+        if not self.net.can_probe(record.target):
+            self._defer_probe(probe_index, report, retries, retry_counts)
+            return
+        handle = self.net.probe_async(record.target)
+        if handle.done:
+            record.completed_at = self._clock
+            record.immediate = True
+            self._finish_probe(record)
+        else:
+            outstanding[probe_index] = handle
+
+    def _collect_completions(self, report, outstanding):
+        finished = [index for index, handle in outstanding.items() if handle.done]
+        for index in finished:
+            record = report.probes[index]
+            record.completed_at = self._clock
+            self._finish_probe(record)
+            del outstanding[index]
+
+    def _finish_probe(self, record: ProbeRecord) -> None:
+        self._c_done.inc()
+        self._h_latency.observe(record.latency)
+
+    # -- burst reconvergence --------------------------------------------
+    def _settle_bursts(self, pending, thresholds, next_index, report):
+        """At a quiescent instant, resolve every fully-injected burst."""
+        settled = []
+        for position, burst_index in enumerate(pending):
+            if next_index < thresholds[burst_index]:
+                break  # bursts are chronological; later ones aren't done either
+            burst = report.bursts[burst_index]
+            burst.reconverged_at = self._clock
+            if self.verify_on_reconvergence:
+                verify_discovery(self.net.result(), self.net.graph)
+                burst.verified = True
+            settled.append(position)
+        for position in reversed(settled):
+            del pending[position]

@@ -1,0 +1,274 @@
+"""Open-loop arrival schedules for the steady-state discovery service.
+
+A *workload* is a seeded, timestamped sequence of dynamic events -- node
+joins, link additions, leader probes -- to be injected into a running
+:class:`~repro.core.adhoc.AdhocNetwork` at their virtual-time arrivals.
+Open-loop means the schedule is fixed up front: arrivals do not wait for
+the system to finish earlier work, so a service that falls behind builds
+a backlog instead of silently throttling the load (the distinction that
+makes latency percentiles honest; closed-loop generators measure their
+own politeness).
+
+Three arrival processes, all deterministic functions of the seed:
+
+* :func:`poisson_workload` -- exponential inter-arrival gaps at a target
+  mean rate, the memoryless default for steady-state traffic;
+* :func:`constant_workload` -- fixed gaps, the zero-variance baseline
+  that isolates protocol jitter from arrival jitter;
+* :func:`bursty_workload` -- an on-off modulated process: baseline
+  probe traffic with periodic churn bursts (joins and links arriving at
+  a multiplied rate inside short windows).  Burst windows are recorded
+  on the workload so the driver can measure reconvergence lag per burst.
+
+Rates are expressed in **events per 1000 virtual steps** ("kilostep"):
+one step is one atomic delivery or wake-up, the only clock the
+asynchronous model has, and typical join/probe service times are tens of
+steps, so single-digit rates are moderate load and tens are saturation.
+
+Event payloads are built by :class:`~repro.core.dynamic.EventFactory`,
+the same seam scripted :func:`~repro.core.dynamic.random_churn`
+scenarios use, so workload events are valid churn events by
+construction (joins know existing ids, probes target existing nodes).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.dynamic import Event, EventFactory
+from repro.graphs.knowledge_graph import KnowledgeGraph
+
+__all__ = [
+    "EventMix",
+    "ScheduledEvent",
+    "Workload",
+    "poisson_workload",
+    "constant_workload",
+    "bursty_workload",
+    "build_workload",
+    "WORKLOAD_KINDS",
+    "RATE_UNIT",
+]
+
+#: Rates are events per this many virtual steps.
+RATE_UNIT = 1000.0
+
+
+@dataclass(frozen=True)
+class EventMix:
+    """Relative weights of the three event kinds (need not sum to one)."""
+
+    join: float = 0.2
+    link: float = 0.2
+    probe: float = 0.6
+
+    def validate(self) -> None:
+        if min(self.join, self.link, self.probe) < 0:
+            raise ValueError(f"negative weight in {self}")
+        if self.join + self.link + self.probe <= 0:
+            raise ValueError("at least one weight must be positive")
+
+
+#: Default steady-state mix: probe-heavy (discovery services answer far
+#: more lookups than they absorb membership changes) with symmetric churn.
+DEFAULT_MIX = EventMix()
+
+#: Churn-only mix used inside burst windows.
+BURST_MIX = EventMix(join=0.6, link=0.4, probe=0.0)
+
+
+@dataclass(frozen=True)
+class ScheduledEvent:
+    """One arrival: a churn event due at virtual time ``at``."""
+
+    at: int
+    event: Event
+
+
+@dataclass
+class Workload:
+    """A fully materialized open-loop schedule plus its provenance."""
+
+    kind: str
+    rate: float
+    duration: int
+    seed: int
+    events: List[ScheduledEvent] = field(default_factory=list)
+    #: ``(start, end)`` virtual-time windows of churn bursts (bursty only).
+    bursts: List[Tuple[int, int]] = field(default_factory=list)
+
+    def counts_by_kind(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for scheduled in self.events:
+            kind = scheduled.event[0]
+            counts[kind] = counts.get(kind, 0) + 1
+        return counts
+
+    def describe(self) -> str:
+        counts = self.counts_by_kind()
+        mix = ", ".join(f"{kind}: {counts[kind]}" for kind in sorted(counts))
+        return (
+            f"{self.kind} workload: {len(self.events)} events over "
+            f"{self.duration} steps (rate {self.rate:g}/kstep"
+            + (f", {len(self.bursts)} bursts" if self.bursts else "")
+            + (f"; {mix}" if mix else "")
+            + ")"
+        )
+
+
+def _check_args(rate: float, duration: int) -> None:
+    if rate <= 0:
+        raise ValueError(f"rate must be positive, got {rate}")
+    if duration < 1:
+        raise ValueError(f"duration must be >= 1 step, got {duration}")
+
+
+def poisson_workload(
+    initial_graph: KnowledgeGraph,
+    *,
+    rate: float,
+    duration: int,
+    seed: int = 0,
+    mix: EventMix = DEFAULT_MIX,
+) -> Workload:
+    """Memoryless arrivals: exponential gaps with mean ``RATE_UNIT/rate``."""
+    _check_args(rate, duration)
+    mix.validate()
+    rng = random.Random(seed)
+    factory = EventFactory(initial_graph.nodes, rng)
+    events: List[ScheduledEvent] = []
+    clock = 0.0
+    while True:
+        clock += rng.expovariate(rate / RATE_UNIT)
+        at = int(clock)
+        if at >= duration:
+            break
+        events.append(ScheduledEvent(at, factory.draw(mix.join, mix.link, mix.probe)))
+    return Workload("poisson", rate, duration, seed, events)
+
+
+def constant_workload(
+    initial_graph: KnowledgeGraph,
+    *,
+    rate: float,
+    duration: int,
+    seed: int = 0,
+    mix: EventMix = DEFAULT_MIX,
+) -> Workload:
+    """Fixed inter-arrival gaps; only the event payloads are random."""
+    _check_args(rate, duration)
+    mix.validate()
+    rng = random.Random(seed)
+    factory = EventFactory(initial_graph.nodes, rng)
+    gap = RATE_UNIT / rate
+    events: List[ScheduledEvent] = []
+    index = 1
+    while True:
+        at = int(index * gap)
+        if at >= duration:
+            break
+        events.append(ScheduledEvent(at, factory.draw(mix.join, mix.link, mix.probe)))
+        index += 1
+    return Workload("constant", rate, duration, seed, events)
+
+
+def bursty_workload(
+    initial_graph: KnowledgeGraph,
+    *,
+    rate: float,
+    duration: int,
+    seed: int = 0,
+    mix: EventMix = DEFAULT_MIX,
+    burst_every: int = 500,
+    burst_len: int = 50,
+    burst_factor: float = 10.0,
+    burst_mix: EventMix = BURST_MIX,
+) -> Workload:
+    """On-off load: baseline Poisson traffic plus periodic churn bursts.
+
+    Every ``burst_every`` steps a window of ``burst_len`` steps opens in
+    which *additional* arrivals occur at ``burst_factor`` times the base
+    rate, drawn from ``burst_mix`` (churn-only by default).  The windows
+    are recorded in :attr:`Workload.bursts`; the driver measures, per
+    window, how long the service takes to reconverge once it closes.
+    """
+    _check_args(rate, duration)
+    if burst_every < 1 or burst_len < 1:
+        raise ValueError(
+            f"burst_every/burst_len must be >= 1, got {burst_every}/{burst_len}"
+        )
+    if burst_factor <= 0:
+        raise ValueError(f"burst_factor must be positive, got {burst_factor}")
+    mix.validate()
+    burst_mix.validate()
+    rng = random.Random(seed)
+    factory = EventFactory(initial_graph.nodes, rng)
+
+    arrivals: List[Tuple[int, EventMix]] = []
+    clock = 0.0
+    while True:  # baseline process over the whole run
+        clock += rng.expovariate(rate / RATE_UNIT)
+        at = int(clock)
+        if at >= duration:
+            break
+        arrivals.append((at, mix))
+    bursts: List[Tuple[int, int]] = []
+    start = burst_every
+    while start < duration:  # superimposed burst processes
+        end = min(start + burst_len, duration)
+        bursts.append((start, end))
+        clock = float(start)
+        while True:
+            clock += rng.expovariate(burst_factor * rate / RATE_UNIT)
+            at = int(clock)
+            if at >= end:
+                break
+            arrivals.append((at, burst_mix))
+        start += burst_every
+
+    # Materialize payloads in arrival order so joins always reference ids
+    # that exist by their own arrival time; the sort key includes the
+    # original position to keep same-step orderings deterministic.
+    arrivals = [
+        (at, index, window_mix) for index, (at, window_mix) in enumerate(arrivals)
+    ]
+    arrivals.sort(key=lambda item: (item[0], item[1]))
+    events = [
+        ScheduledEvent(at, factory.draw(m.join, m.link, m.probe))
+        for at, _index, m in arrivals
+    ]
+    workload = Workload("bursty", rate, duration, seed, events)
+    workload.bursts = bursts
+    return workload
+
+
+WORKLOAD_KINDS = {
+    "poisson": poisson_workload,
+    "constant": constant_workload,
+    "bursty": bursty_workload,
+}
+
+
+def build_workload(
+    kind: str,
+    initial_graph: KnowledgeGraph,
+    *,
+    rate: float,
+    duration: int,
+    seed: int = 0,
+    mix: Optional[EventMix] = None,
+    **kwargs,
+) -> Workload:
+    """Instantiate one of :data:`WORKLOAD_KINDS` by name."""
+    if kind not in WORKLOAD_KINDS:
+        raise ValueError(
+            f"unknown workload kind {kind!r}; choose from "
+            f"{', '.join(sorted(WORKLOAD_KINDS))}"
+        )
+    if mix is not None:
+        kwargs["mix"] = mix
+    return WORKLOAD_KINDS[kind](
+        initial_graph, rate=rate, duration=duration, seed=seed, **kwargs
+    )

@@ -484,6 +484,24 @@ class Simulator:
                 )
         return executed
 
+    def run_for(self, max_steps: int) -> int:
+        """Execute at most ``max_steps`` pending steps; return the count.
+
+        The open-ended companion to :meth:`run`: a steady-state service
+        has no terminal quiescence, so exhausting the budget here is a
+        normal outcome rather than a :class:`StepLimitExceeded` failure.
+        Stops early (returning fewer steps) if the system quiesces; call
+        again after injecting more work.  Always takes the object path --
+        callers interleave injections with execution, which the compiled
+        loop's batched accounting cannot observe mid-flight.
+        """
+        if max_steps < 0:
+            raise ValueError(f"max_steps must be >= 0, got {max_steps}")
+        executed = 0
+        while executed < max_steps and self.step():
+            executed += 1
+        return executed
+
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------

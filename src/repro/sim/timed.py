@@ -74,10 +74,20 @@ class TimedScheduler(Scheduler):
 
     def push(self, token: Token) -> None:
         if isinstance(token, WakeToken):
-            at = self._wake_times.get(token.node, 0.0)
-        else:
-            assert isinstance(token, DeliverToken)
+            # Never in the past: a wake-up pushed mid-run (a Section 6
+            # dynamic join) is due at its configured time or *now*,
+            # whichever is later -- open-ended runs keep the clock
+            # monotone.  Static setups push all wakes at now == 0.0, where
+            # this reduces to the configured time exactly.
+            at = max(self.now, self._wake_times.get(token.node, 0.0))
+        elif isinstance(token, DeliverToken):
             at = self.now + self._delay(token.src, token.dst)
+        else:
+            raise TypeError(
+                f"TimedScheduler orders wake-ups and deliveries only; "
+                f"{type(token).__name__} carries a step-counter deadline, "
+                "which has no meaning on the unit-latency clock"
+            )
         self._seq += 1
         heapq.heappush(self._heap, (at, self._seq, token))
 

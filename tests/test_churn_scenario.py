@@ -14,7 +14,7 @@ class TestValidation:
             ChurnScenario(star(3), [("join", 0, ())])
 
     def test_join_unknown_reference_rejected(self):
-        with pytest.raises(ValueError, match="unknown ids"):
+        with pytest.raises(ValueError, match=r"join references 42 unknown"):
             ChurnScenario(star(3), [("join", 99, (42,))])
 
     def test_link_unknown_endpoint_rejected(self):
@@ -31,6 +31,37 @@ class TestValidation:
 
     def test_join_then_reference_is_fine(self):
         ChurnScenario(star(3), [("join", 10, (0,)), ("link", 10, 1), ("probe", 10)])
+
+
+class TestLaterJoinDiagnostics:
+    """References to nodes that only join *later* get an explicit error
+    naming the joining event -- not an opaque ProtocolError mid-replay."""
+
+    def test_probe_before_join_names_the_join_event(self):
+        with pytest.raises(
+            ValueError, match=r"event 0: probe target 100 joins later \(event 1\)"
+        ):
+            ChurnScenario(star(3), [("probe", 100), ("join", 100, (0,))])
+
+    def test_link_before_join_names_the_join_event(self):
+        with pytest.raises(
+            ValueError, match=r"event 0: link endpoint 100 joins later \(event 1\)"
+        ):
+            ChurnScenario(star(3), [("link", 0, 100), ("join", 100, (0,))])
+
+    def test_join_referencing_later_joiner_names_the_join_event(self):
+        with pytest.raises(
+            ValueError, match=r"event 0: join references 11 joins later \(event 1\)"
+        ):
+            ChurnScenario(star(3), [("join", 10, (11,)), ("join", 11, (0,))])
+
+    def test_replay_revalidates_against_supplied_network(self):
+        from repro.core.adhoc import AdhocNetwork
+
+        scenario = ChurnScenario(star(5), [("probe", 4)])
+        mismatched = AdhocNetwork(star(3), seed=0)  # has no node 4
+        with pytest.raises(ValueError, match=r"probe target 4 unknown"):
+            scenario.replay(network=mismatched)
 
 
 class TestReplay:
@@ -91,6 +122,32 @@ class TestRandomChurn:
             random_churn(star(3), -1)
         with pytest.raises(ValueError):
             random_churn(star(3), 5, join_weight=0, link_weight=0, probe_weight=0)
+
+    @pytest.mark.parametrize("seed", [0, 7, 23])
+    def test_same_seed_identical_events(self, seed):
+        graph = random_weakly_connected(12, 24, seed=1)
+        a = random_churn(graph, 25, seed=seed)
+        b = random_churn(graph, 25, seed=seed)
+        assert a.events == b.events
+
+    def test_same_seed_identical_outcome_across_fast_paths(self):
+        """One seed, one schedule: replaying on the compiled fast path and
+        the legacy object path yields the identical ChurnOutcome."""
+        from repro.core.adhoc import AdhocNetwork
+
+        graph = random_weakly_connected(12, 24, seed=4)
+        scenario = random_churn(graph, 12, seed=4)
+        outcomes = []
+        for fast in (True, False):
+            net = AdhocNetwork(graph, seed=scenario.seed, fast=fast)
+            _, outcome = scenario.replay(network=net)
+            outcomes.append(
+                (
+                    [(c.event, c.messages, c.bits) for c in outcome.costs],
+                    outcome.probe_answers,
+                )
+            )
+        assert outcomes[0] == outcomes[1]
 
     @pytest.mark.parametrize("seed", [0, 7, 23])
     def test_random_scenarios_keep_invariants(self, seed):

@@ -149,3 +149,62 @@ class TestSweep:
     def test_sweep_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             main(["sweep", "--exp", "nope", "--seeds", "0:2"])
+
+
+class TestServeSim:
+    ARGS = [
+        "serve-sim", "--rate", "8", "--duration", "1500",
+        "--seed", "1", "--n", "32",
+    ]
+
+    def test_prints_slo_and_curve_tables(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "poisson workload" in out
+        assert "probe latency p50 (steps)" in out
+        assert "throughput (probes/kstep)" in out
+        assert "Amortized cost curve (Theorem 8):" in out
+        assert "msgs/(op*alpha)" in out
+
+    def test_output_is_bitwise_deterministic(self, capsys):
+        assert main(self.ARGS) == 0
+        first = capsys.readouterr().out
+        assert main(self.ARGS) == 0
+        assert capsys.readouterr().out == first
+
+    def test_bursty_reports_reconvergence(self, capsys):
+        assert main(
+            [
+                "serve-sim", "--workload", "bursty", "--rate", "8",
+                "--duration", "1500", "--seed", "2", "--n", "32", "--verify",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "churn bursts" in out
+        assert "lag max (steps)" in out
+
+    def test_burst_flag_implies_bursty(self, capsys):
+        assert main(self.ARGS + ["--burst", "400:40:8"]) == 0
+        assert "bursty workload" in capsys.readouterr().out
+
+    def test_mix_flag(self, capsys):
+        assert main(self.ARGS + ["--mix", "0:0:1"]) == 0
+        out = capsys.readouterr().out
+        assert "join: " not in out
+
+    def test_bad_mix_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(self.ARGS + ["--mix", "1:2"])
+
+    def test_bad_burst_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(self.ARGS + ["--burst", "oops"])
+
+    def test_obs_out_writes_timeline(self, tmp_path, capsys):
+        out_path = tmp_path / "svc.jsonl"
+        assert main(self.ARGS + ["--obs-out", str(out_path)]) == 0
+        assert out_path.exists()
+        assert "timeline written to" in capsys.readouterr().out
+
+    def test_exp_19_registered(self):
+        assert "EXP-19" in EXPERIMENTS

@@ -1,0 +1,138 @@
+"""SLO computation and the Theorem 8 amortized-cost bound under load."""
+
+import pytest
+
+from repro.core.adhoc import AdhocNetwork
+from repro.graphs.generators import random_weakly_connected
+from repro.obs.timeline import read_timeline, write_timeline
+from repro.service import (
+    ServiceDriver,
+    amortized_table,
+    build_workload,
+    service_timeline,
+    slo_table,
+    summarize_service,
+)
+from repro.service.workload import EventMix
+from repro.unionfind.ackermann import alpha
+
+#: msgs/(op * alpha(m, n+n-hat)) must stay below this constant at every
+#: scale -- the empirical form of Theorem 8's O(m alpha(m, n + n-hat)).
+AMORTIZED_CEILING = 8.0
+
+
+def _report(kind="poisson", *, n=32, rate=10.0, duration=2000, seed=5, **kwargs):
+    graph = random_weakly_connected(n, int(1.5 * n), seed=0)
+    workload = build_workload(kind, graph, rate=rate, duration=duration, seed=seed)
+    net = AdhocNetwork(graph, seed=0)
+    return ServiceDriver(net, workload, **kwargs).run()
+
+
+class TestTheorem8:
+    def test_amortized_cost_bounded_across_scales(self):
+        """The acceptance criterion: three operation-count scales, each
+        within the alpha-normalized ceiling, with m growing ~4x per step."""
+        ops_seen = []
+        for duration in (1000, 4000, 16000):
+            report = _report(rate=10.0, duration=duration, seed=11)
+            summary = summarize_service(report)
+            assert not report.budget_exhausted
+            ops_seen.append(summary.operations)
+            assert summary.amortized_over_alpha <= AMORTIZED_CEILING, (
+                f"duration={duration}: msgs/(op*alpha) = "
+                f"{summary.amortized_over_alpha:.2f}"
+            )
+        assert ops_seen == sorted(ops_seen) and ops_seen[0] < ops_seen[-1]
+
+    def test_curve_checkpoints_stay_bounded(self):
+        report = _report(rate=15.0, duration=8000, seed=4)
+        joined = report.injected.get("join", 0)
+        n_hat = report.n_initial + joined
+        # Skip the first few checkpoints: constant startup costs dominate
+        # until a handful of operations amortize them away.
+        for operations, messages in report.curve:
+            if operations < 8:
+                continue
+            bound = alpha(operations, n_hat)
+            assert messages / operations <= AMORTIZED_CEILING * max(1, bound)
+
+
+class TestReconvergence:
+    def test_bursts_reconverge_to_a_verified_census(self):
+        report = _report(
+            "bursty",
+            rate=8.0,
+            duration=2500,
+            seed=3,
+            verify_on_reconvergence=True,
+        )
+        summary = summarize_service(report)
+        assert summary.bursts_total >= 3
+        assert summary.bursts_reconverged == summary.bursts_total
+        for burst in report.bursts:
+            assert burst.reconverged_at is not None
+            assert burst.verified is True
+            assert burst.lag >= 0
+        assert summary.reconvergence_lag_mean is not None
+        assert summary.reconvergence_lag_max >= summary.reconvergence_lag_mean
+
+
+class TestSummaries:
+    def test_summary_counts_are_consistent(self):
+        report = _report(seed=8)
+        summary = summarize_service(report)
+        assert summary.operations == report.operations
+        assert (
+            summary.probes_completed + summary.probes_incomplete
+            == summary.probes_total
+        )
+        assert summary.latency_p50 is not None
+        assert summary.latency_p50 <= summary.latency_p95 <= summary.latency_p99
+        assert summary.throughput_per_kstep <= summary.offered_per_kstep
+
+    def test_probe_free_run_renders_dashes(self):
+        graph = random_weakly_connected(16, 24, seed=0)
+        workload = build_workload(
+            "poisson",
+            graph,
+            rate=5.0,
+            duration=1000,
+            seed=1,
+            mix=EventMix(join=0.5, link=0.5, probe=0.0),
+        )
+        report = ServiceDriver(AdhocNetwork(graph, seed=0), workload).run()
+        summary = summarize_service(report)
+        assert summary.latency_p50 is None
+        headers, rows = slo_table(report, summary)
+        cells = {row[0]: row[1] for row in rows}
+        assert cells["probe latency p50 (steps)"] == "-"
+
+    def test_slo_table_has_burst_rows_only_when_bursty(self):
+        plain = _report(seed=2)
+        _, plain_rows = slo_table(plain)
+        assert not any(row[0] == "churn bursts" for row in plain_rows)
+        bursty = _report("bursty", rate=8.0, duration=1500, seed=2)
+        _, bursty_rows = slo_table(bursty)
+        assert any(row[0] == "churn bursts" for row in bursty_rows)
+
+    def test_amortized_table_matches_curve(self):
+        report = _report(seed=6)
+        headers, rows = amortized_table(report)
+        assert headers[0] == "ops (m)"
+        assert len(rows) == len(report.curve)
+        assert [row[0] for row in rows] == [point[0] for point in report.curve]
+
+
+class TestTimelineExport:
+    def test_round_trip(self, tmp_path):
+        report = _report(seed=9)
+        timeline = service_timeline(report, meta={"note": "test"})
+        path = write_timeline(tmp_path / "svc.jsonl", timeline)
+        loaded = read_timeline(path)
+        assert loaded.meta["command"] == "serve-sim"
+        assert loaded.meta["note"] == "test"
+        assert len(loaded.events) == len(report.completed_probes)
+        assert all(event.kind == "service-op" for event in loaded.events)
+        steps = [event.step for event in loaded.events]
+        assert steps == sorted(steps)
+        assert loaded.samples == timeline.samples

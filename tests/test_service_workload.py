@@ -1,0 +1,116 @@
+"""Tests for the open-loop workload generators (``repro.service.workload``)."""
+
+import pytest
+
+from repro.core.dynamic import ChurnScenario
+from repro.graphs.generators import random_weakly_connected
+from repro.service.workload import (
+    RATE_UNIT,
+    EventMix,
+    build_workload,
+    bursty_workload,
+    constant_workload,
+    poisson_workload,
+)
+
+
+@pytest.fixture
+def graph():
+    return random_weakly_connected(32, 48, seed=0)
+
+
+class TestShapes:
+    def test_poisson_event_count_near_rate(self, graph):
+        workload = poisson_workload(graph, rate=20.0, duration=5000, seed=3)
+        expected = 20.0 * 5000 / RATE_UNIT
+        assert 0.5 * expected <= len(workload.events) <= 2.0 * expected
+        assert all(0 <= s.at < 5000 for s in workload.events)
+        assert [s.at for s in workload.events] == sorted(
+            s.at for s in workload.events
+        )
+
+    def test_constant_gaps_are_exact(self, graph):
+        workload = constant_workload(graph, rate=10.0, duration=1000, seed=0)
+        assert [s.at for s in workload.events] == [
+            100 * k for k in range(1, 10)
+        ]
+
+    def test_bursty_records_windows(self, graph):
+        workload = bursty_workload(
+            graph, rate=5.0, duration=2000, seed=1, burst_every=500, burst_len=50
+        )
+        assert workload.bursts == [(500, 550), (1000, 1050), (1500, 1550)]
+        assert [s.at for s in workload.events] == sorted(
+            s.at for s in workload.events
+        )
+        # Burst windows are churn-only by default and dominated by the
+        # multiplied rate: every burst window holds several arrivals.
+        for start, end in workload.bursts:
+            inside = [s for s in workload.events if start <= s.at < end]
+            assert len(inside) >= 2
+
+    def test_mix_weights_respected(self, graph):
+        probe_only = poisson_workload(
+            graph,
+            rate=20.0,
+            duration=2000,
+            seed=2,
+            mix=EventMix(join=0.0, link=0.0, probe=1.0),
+        )
+        assert set(probe_only.counts_by_kind()) == {"probe"}
+
+    def test_describe_mentions_kind_and_bursts(self, graph):
+        workload = bursty_workload(graph, rate=5.0, duration=1200, seed=0)
+        text = workload.describe()
+        assert "bursty" in text and "bursts" in text
+
+
+class TestValidity:
+    """Every generated schedule is a valid churn script by construction."""
+
+    @pytest.mark.parametrize("kind", ["poisson", "constant", "bursty"])
+    def test_events_form_a_valid_scenario(self, graph, kind):
+        workload = build_workload(kind, graph, rate=15.0, duration=3000, seed=4)
+        # ChurnScenario validation rejects references to unknown or
+        # later-joining nodes; construction succeeding is the assertion.
+        ChurnScenario(graph, [s.event for s in workload.events])
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("kind", ["poisson", "constant", "bursty"])
+    def test_same_seed_same_schedule(self, graph, kind):
+        a = build_workload(kind, graph, rate=12.0, duration=2500, seed=9)
+        b = build_workload(kind, graph, rate=12.0, duration=2500, seed=9)
+        assert a.events == b.events
+        assert a.bursts == b.bursts
+
+    def test_different_seed_different_schedule(self, graph):
+        a = poisson_workload(graph, rate=12.0, duration=2500, seed=1)
+        b = poisson_workload(graph, rate=12.0, duration=2500, seed=2)
+        assert a.events != b.events
+
+
+class TestArguments:
+    def test_rejects_bad_rate_and_duration(self, graph):
+        with pytest.raises(ValueError, match="rate"):
+            poisson_workload(graph, rate=0.0, duration=100)
+        with pytest.raises(ValueError, match="duration"):
+            constant_workload(graph, rate=1.0, duration=0)
+
+    def test_rejects_bad_mix(self, graph):
+        with pytest.raises(ValueError, match="negative"):
+            poisson_workload(
+                graph, rate=1.0, duration=100, mix=EventMix(join=-1.0)
+            )
+        with pytest.raises(ValueError, match="positive"):
+            EventMix(join=0.0, link=0.0, probe=0.0).validate()
+
+    def test_rejects_bad_burst_shape(self, graph):
+        with pytest.raises(ValueError, match="burst_every"):
+            bursty_workload(graph, rate=1.0, duration=100, burst_every=0)
+        with pytest.raises(ValueError, match="burst_factor"):
+            bursty_workload(graph, rate=1.0, duration=100, burst_factor=0.0)
+
+    def test_unknown_kind(self, graph):
+        with pytest.raises(ValueError, match="unknown workload kind"):
+            build_workload("fractal", graph, rate=1.0, duration=100)

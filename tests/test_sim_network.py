@@ -149,6 +149,37 @@ class TestFifo:
             assert from_b == [100 + t for t in range(8)]
 
 
+class TestRunFor:
+    def test_budget_exhaustion_is_not_an_error(self):
+        sim = Simulator()
+        a = Recorder("a", forward_to="b")
+        b = Recorder("b", forward_to="a")
+        sim.add_node(a)
+        sim.add_node(b)
+        a.awake = b.awake = True
+        a.send("b", Ping())  # infinite ping-pong
+        assert sim.run_for(50) == 50
+        assert sim.run_for(7) == 7  # resumable: the backlog is still live
+
+    def test_stops_early_at_quiescence(self):
+        sim, a, b = make_pair()
+        sim.schedule_wake("a")
+        executed = sim.run_for(10_000)
+        assert 0 < executed < 10_000
+        assert sim.run_for(10_000) == 0  # already quiescent
+
+    def test_zero_budget_executes_nothing(self):
+        sim, a, b = make_pair()
+        sim.schedule_wake("a")
+        assert sim.run_for(0) == 0
+        assert a.woken is False
+
+    def test_negative_budget_rejected(self):
+        sim, _a, _b = make_pair()
+        with pytest.raises(ValueError, match="max_steps"):
+            sim.run_for(-1)
+
+
 class TestLimitsAndErrors:
     def test_step_limit(self):
         sim = Simulator()

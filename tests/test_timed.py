@@ -74,6 +74,39 @@ class TestClock:
         # a->b at 0.5, b->a at 3.5, a->b at 4.0.
         assert scheduler.now == 4.0
 
+    def test_midrun_wake_never_fires_in_the_past(self):
+        """A dynamic join's wake-up pushed after the clock advanced is due
+        *now*, not at its default time 0.0 -- the clock stays monotone."""
+        scheduler = TimedScheduler()
+        sim = Simulator(scheduler)
+        sim.add_node(Echoer("a", "b", hops=3))
+        sim.add_node(Echoer("b", "a", hops=3))
+        sim.schedule_wake("a")
+        sim.schedule_wake("b")
+        sim.run()
+        advanced = scheduler.now
+        assert advanced > 0
+        late = Echoer("c", "a", hops=0)
+        sim.add_node(late)
+        sim.schedule_wake("c")
+        sim.run()
+        assert late.received == 0 and late.awake
+        assert scheduler.now >= advanced
+
+    def test_midrun_wake_respects_a_future_configured_time(self):
+        scheduler = TimedScheduler(wake_times={"c": 50.0})
+        sim = Simulator(scheduler)
+        sim.add_node(Echoer("a", "b", hops=2))
+        sim.add_node(Echoer("b", "a", hops=2))
+        sim.schedule_wake("a")
+        sim.schedule_wake("b")
+        sim.run()
+        assert 0 < scheduler.now < 50.0
+        sim.add_node(Echoer("c", "a", hops=0))
+        sim.schedule_wake("c")
+        sim.run()
+        assert scheduler.now == 50.0
+
     def test_wake_times(self):
         scheduler = TimedScheduler(wake_times={"a": 7.0})
         sim = Simulator(scheduler)
