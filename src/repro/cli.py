@@ -285,6 +285,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "(measures how the algorithms themselves degrade)",
     )
     chaos_p.add_argument(
+        "--transport",
+        choices=("sr", "gbn"),
+        default="sr",
+        help="reliable transport generation: 'sr' selective repeat with "
+        "piggybacked/delayed acks and adaptive RTO (default), 'gbn' the "
+        "v1 go-back-N path (kept for differential runs)",
+    )
+    chaos_p.add_argument(
         "--recovery",
         action="store_true",
         help="run the crash-recovery scenario set (durable checkpoints, "
@@ -436,6 +444,28 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run the full discovery invariants at each post-burst "
         "reconvergence point (slow)",
+    )
+    serve_p.add_argument(
+        "--faults",
+        default=None,
+        metavar="SPEC",
+        help="inject faults into the steady state (after warmup): a "
+        "comma-separated spec of loss=P, dup=P, and crash=K@STEP "
+        "(crash K low-in-degree nodes STEP window-steps in), e.g. "
+        "'loss=0.1,crash=2@500'.  Implies the reliable transport.",
+    )
+    serve_p.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        help="seed for the fault injector's RNG (default: 0)",
+    )
+    serve_p.add_argument(
+        "--transport",
+        choices=("sr", "gbn"),
+        default="sr",
+        help="reliable-transport generation when faults are on "
+        "(default: sr, the selective-repeat v2 path)",
     )
     serve_p.add_argument(
         "--obs-out",
@@ -756,6 +786,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         "n": args.n,
         "family": args.family,
         "reliable": not args.raw,
+        "transport": args.transport,
         "budget_factor": args.budget_factor,
     }
     # No result cache: chaos runs are the thing under test, and stale
@@ -780,7 +811,9 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         print(f"aggregation failed: {exc}", file=sys.stderr)
         return 1
 
-    transport = "raw (no recovery)" if args.raw else "reliable transport"
+    transport = (
+        "raw (no recovery)" if args.raw else f"reliable transport ({args.transport})"
+    )
     print(
         f"=== chaos: {len(scenarios)} scenarios x {len(variants)} variants "
         f"x {len(seeds)} seeds, n={args.n} {args.family}, {transport} ==="
@@ -834,6 +867,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             args.n,
             seeds[0],
             reliable=not args.raw,
+            transport=args.transport,
             budget_factor=args.budget_factor,
             recorder=recorder,
         )
@@ -986,6 +1020,37 @@ def _parse_burst(spec: str):
         raise SystemExit(f"bad --burst {spec!r}: {exc}")
 
 
+def _parse_faults(spec: str, graph, seed: int):
+    """``loss=P,dup=P,crash=K@STEP`` -> a window-relative FaultPlan."""
+    from repro.faults import CrashSpec, FaultPlan
+    from repro.faults.scenarios import pick_crash_victims
+
+    loss = duplicate = 0.0
+    crashes = ()
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        key, _, value = part.partition("=")
+        try:
+            if key == "loss":
+                loss = float(value)
+            elif key == "dup":
+                duplicate = float(value)
+            elif key == "crash":
+                count_text, _, at_text = value.partition("@")
+                count, at_step = int(count_text), int(at_text or 0)
+                crashes = tuple(
+                    CrashSpec(victim, at_step)
+                    for victim in pick_crash_victims(graph, count, seed)
+                )
+            else:
+                raise SystemExit(f"unknown --faults key {key!r} in {spec!r}")
+        except ValueError as exc:
+            raise SystemExit(f"bad --faults {spec!r}: {exc}")
+    return FaultPlan(loss=loss, duplicate=duplicate, crashes=crashes)
+
+
 def _cmd_serve_sim(args: argparse.Namespace) -> int:
     from repro.core.adhoc import AdhocNetwork
     from repro.obs.metrics import DEFAULT_CADENCE
@@ -1014,19 +1079,41 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
     )
     print(workload.describe())
 
-    net = AdhocNetwork(graph, seed=args.seed)
+    plan = None
+    if args.faults is not None:
+        plan = _parse_faults(args.faults, graph, args.fault_seed)
+        print(f"steady-state faults: {plan.describe()} (transport={args.transport})")
+
+    net = AdhocNetwork(
+        graph, seed=args.seed, reliable=plan is not None, transport=args.transport
+    )
     driver = ServiceDriver(
         net,
         workload,
         step_budget=args.step_budget,
         cadence=args.cadence if args.cadence is not None else DEFAULT_CADENCE,
         verify_on_reconvergence=args.verify,
+        faults=plan,
+        fault_seed=args.fault_seed,
     )
     report = driver.run()
     summary = summarize_service(report)
 
     print()
     print(render_table(*slo_table(report, summary)))
+    if plan is not None:
+        injected = {k: v for k, v in report.fault_counts.items() if v}
+        totals = report.transport_totals
+        print()
+        print(
+            "fault injection: "
+            + (", ".join(f"{k}={v}" for k, v in sorted(injected.items())) or "none hit")
+        )
+        print(
+            f"transport: {totals.get('retransmissions', 0)} retransmissions, "
+            f"{totals.get('nacks_sent', 0)} nacks, "
+            f"{totals.get('undeliverable', 0)} undeliverable"
+        )
     if report.curve:
         print()
         print("Amortized cost curve (Theorem 8):")

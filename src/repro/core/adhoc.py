@@ -21,9 +21,14 @@ from typing import Dict, FrozenSet, Hashable, Iterable, Optional, Sequence, Tupl
 
 from repro.core.node import DiscoveryNode
 from repro.core.result import DiscoveryResult, collect_result
-from repro.core.runner import build_simulation, default_step_budget, id_bits_for
+from repro.core.runner import (
+    build_simulation,
+    default_step_budget,
+    id_bits_for,
+    transport_tuning,
+)
 from repro.graphs.knowledge_graph import KnowledgeGraph
-from repro.sim.network import Simulator
+from repro.sim.network import ChannelInterceptor, Simulator
 from repro.sim.scheduler import Scheduler
 from repro.sim.trace import MessageStats
 
@@ -86,8 +91,20 @@ class AdhocNetwork:
         wake_order: Optional[Sequence[NodeId]] = None,
         auto_wake: bool = True,
         fast: bool = True,
+        faults: Optional[ChannelInterceptor] = None,
+        reliable: bool = False,
+        transport: str = "sr",
     ) -> None:
         self.graph = graph.copy()
+        self.reliable = reliable
+        self.transport = transport
+        # Late joiners (add_node) must ride the same transport as the
+        # initial population, with the same workload-scaled tuning.
+        self._transport_kwargs = (
+            dict(transport=transport, **transport_tuning(self.graph.n))
+            if reliable
+            else None
+        )
         self.sim, self.nodes = build_simulation(
             self.graph,
             "adhoc",
@@ -97,6 +114,9 @@ class AdhocNetwork:
             wake_order=wake_order,
             auto_wake=auto_wake,
             fast=fast,
+            faults=faults,
+            reliable=reliable,
+            transport=transport,
         )
 
     # ------------------------------------------------------------------
@@ -178,7 +198,12 @@ class AdhocNetwork:
             self.graph.add_edge(node_id, other)
         node = DiscoveryNode(node_id, frozenset(known), variant="adhoc")
         self.nodes[node_id] = node
-        self.sim.add_node(node)
+        if self._transport_kwargs is not None:
+            from repro.faults.reliable import ReliableNode
+
+            self.sim.add_node(ReliableNode(node, **self._transport_kwargs))
+        else:
+            self.sim.add_node(node)
         self.sim.schedule_wake(node_id)
 
     def add_link(self, u: NodeId, v: NodeId) -> None:

@@ -13,7 +13,12 @@ from repro.sim.scheduler import GlobalFifoScheduler, RandomScheduler, Scheduler
 
 NodeId = Hashable
 
-__all__ = ["build_simulation", "default_step_budget", "id_bits_for"]
+__all__ = [
+    "build_simulation",
+    "default_step_budget",
+    "id_bits_for",
+    "transport_tuning",
+]
 
 
 def id_bits_for(n: int) -> int:
@@ -21,6 +26,27 @@ def id_bits_for(n: int) -> int:
     if n <= 1:
         return 1
     return (n - 1).bit_length()
+
+
+def transport_tuning(n: int, base_timeout: Optional[int] = None) -> Dict[str, int]:
+    """Workload-scaled reliable-transport parameters for an ``n``-node run.
+
+    The all-start-at-once discovery workload front-loads its congestion:
+    the opening wave's queueing delay approaches ``base_timeout``, while
+    the end-game (serial repair chains on the critical path) runs on a
+    drained network where every RTO step is pure waiting.  So the adaptive
+    (sr) transport gets a floor well under ``base_timeout`` -- letting
+    drained-phase repairs go fast -- and a ceiling under ``2x`` -- bounding
+    how much a backoff ladder can stall the critical path under sustained
+    loss.  Class defaults on :class:`~repro.faults.reliable.ReliableNode`
+    stay conservative for small hand-built simulations; these values are
+    tuned for the n-node discovery workload (``BENCH_faults.json``).
+    """
+    if base_timeout is None:
+        base_timeout = max(32, 4 * n)
+    min_rto = max(4, (3 * base_timeout) // 16)
+    max_rto = max(min_rto, (7 * base_timeout) // 4)
+    return {"base_timeout": base_timeout, "min_rto": min_rto, "max_rto": max_rto}
 
 
 def default_step_budget(graph: KnowledgeGraph) -> int:
@@ -51,6 +77,7 @@ def build_simulation(
     reliable: bool = False,
     base_timeout: Optional[int] = None,
     max_retries: int = 6,
+    transport: str = "sr",
     obs: Optional[Recorder] = None,
     fast: bool = True,
 ) -> "tuple[Simulator, Dict[NodeId, DiscoveryNode]]":
@@ -69,6 +96,8 @@ def build_simulation(
     their exactly-once FIFO model over a faulty network; the returned
     ``nodes`` dict always maps to the *inner* protocol nodes, which is what
     verification and monitoring expect (``sim.nodes`` holds the wrappers).
+    ``transport`` selects the transport generation (``"sr"`` selective
+    repeat, ``"gbn"`` go-back-N); it only matters with ``reliable=True``.
 
     ``obs`` attaches a :class:`~repro.obs.events.Recorder` so the run
     emits the typed observability events; the default ``None`` keeps the
@@ -102,8 +131,7 @@ def build_simulation(
         # the (common) fault-free runs.
         from repro.faults.reliable import ReliableNode
 
-        if base_timeout is None:
-            base_timeout = max(32, 4 * graph.n)
+        tuning = transport_tuning(graph.n, base_timeout)
     nodes: Dict[NodeId, DiscoveryNode] = {}
     for node_id in graph.nodes:
         node = DiscoveryNode(
@@ -116,7 +144,12 @@ def build_simulation(
         nodes[node_id] = node
         if reliable:
             sim.add_node(
-                ReliableNode(node, base_timeout=base_timeout, max_retries=max_retries)
+                ReliableNode(
+                    node,
+                    max_retries=max_retries,
+                    transport=transport,
+                    **tuning,
+                )
             )
         else:
             sim.add_node(node)

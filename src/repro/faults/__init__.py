@@ -43,9 +43,12 @@ from repro.faults.recovery import (
 from repro.faults.reliable import (
     OVERHEAD_TYPES,
     RT_ACK,
+    RT_NACK,
     RT_RETRANS,
+    TRANSPORTS,
     Ack,
     Data,
+    Nack,
     ReliableNode,
     retransmission_overhead,
     transport_totals,
@@ -68,9 +71,12 @@ __all__ = [
     "ReliableNode",
     "Data",
     "Ack",
+    "Nack",
     "RT_RETRANS",
     "RT_ACK",
+    "RT_NACK",
     "OVERHEAD_TYPES",
+    "TRANSPORTS",
     "retransmission_overhead",
     "transport_totals",
     "Checkpoint",

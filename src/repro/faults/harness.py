@@ -70,6 +70,7 @@ class ChaosTrial:
     n: int
     seed: int
     reliable: bool
+    transport: str
     plan: FaultPlan
     outcome: str
     quiesced: bool
@@ -81,6 +82,7 @@ class ChaosTrial:
     overhead_messages: int
     overhead_bits: int
     retransmissions: int
+    nacks: int
     undeliverable: int
     faults_injected: int
     n_recovered: int = 0
@@ -102,6 +104,7 @@ def run_chaos_trial(
     seed: int = 0,
     *,
     reliable: bool = True,
+    transport: str = "sr",
     monitor_every: int = 1,
     budget_factor: int = 8,
     base_timeout: Optional[int] = None,
@@ -113,7 +116,9 @@ def run_chaos_trial(
 
     ``scenario`` is a name from :data:`~repro.faults.FAULT_SCENARIOS` or a
     literal :class:`FaultPlan` (property-style tests throw arbitrary plans
-    at the protocols this way).
+    at the protocols this way).  ``transport`` selects the reliable
+    transport generation (``"sr"`` selective repeat with piggybacked acks,
+    ``"gbn"`` the v1 go-back-N path kept for differential runs).
 
     Never raises on degradation: stalls, loud protocol errors and property
     misses come back as outcomes.  In particular a
@@ -146,6 +151,7 @@ def run_chaos_trial(
         reliable=reliable,
         base_timeout=base_timeout,
         max_retries=max_retries,
+        transport=transport,
         obs=recorder,
     )
     if plan.recoveries and not reliable:
@@ -207,7 +213,7 @@ def run_chaos_trial(
             detail = survival.detail
     overhead = retransmission_overhead(sim.stats)
     if reliable:
-        transport = transport_totals(
+        totals = transport_totals(
             {
                 node_id: wrapper
                 for node_id, wrapper in sim.nodes.items()
@@ -215,7 +221,12 @@ def run_chaos_trial(
             }
         )
     else:
-        transport = {"retransmissions": 0, "undeliverable": 0, "epoch_fenced": 0}
+        totals = {
+            "retransmissions": 0,
+            "nacks_sent": 0,
+            "undeliverable": 0,
+            "epoch_fenced": 0,
+        }
     return ChaosTrial(
         scenario=scenario,
         variant=variant,
@@ -223,6 +234,7 @@ def run_chaos_trial(
         n=graph.n,
         seed=seed,
         reliable=reliable,
+        transport=transport if reliable else "raw",
         plan=plan,
         outcome=outcome,
         quiesced=quiesced,
@@ -233,12 +245,13 @@ def run_chaos_trial(
         total_bits=sim.stats.total_bits,
         overhead_messages=overhead["overhead_messages"],
         overhead_bits=overhead["overhead_bits"],
-        retransmissions=transport["retransmissions"],
-        undeliverable=transport["undeliverable"],
+        retransmissions=totals["retransmissions"],
+        nacks=totals["nacks_sent"],
+        undeliverable=totals["undeliverable"],
         faults_injected=injector.total_injected,
         n_recovered=n_recovered,
         reconverge_steps=reconverge_steps,
-        epoch_fences=transport["epoch_fenced"],
+        epoch_fences=totals["epoch_fenced"],
         fault_counts=dict(injector.counts),
         detail=detail,
     )
@@ -259,6 +272,7 @@ CHAOS_HEADERS = [
     "messages",
     "overhead-msgs",
     "retrans",
+    "nacks",
     "undeliv",
     "faults",
     "recovered",
@@ -275,6 +289,7 @@ def exp_chaos(
     seed: int = 0,
     *,
     reliable: bool = True,
+    transport: str = "sr",
     monitor_every: int = 1,
     budget_factor: int = 8,
 ) -> Table:
@@ -294,6 +309,7 @@ def exp_chaos(
                 n,
                 seed,
                 reliable=reliable,
+                transport=transport,
                 monitor_every=monitor_every,
                 budget_factor=budget_factor,
             )
@@ -311,6 +327,7 @@ def exp_chaos(
                     trial.total_messages,
                     trial.overhead_messages,
                     trial.retransmissions,
+                    trial.nacks,
                     trial.undeliverable,
                     trial.faults_injected,
                     trial.n_recovered,

@@ -189,6 +189,46 @@ class FaultPlan:
             and not self.recoveries
         )
 
+    def shifted(self, offset: int) -> "FaultPlan":
+        """This plan with every time-anchored fault pushed ``offset`` steps
+        later.  Rate faults (loss, duplication) are time-free and carry
+        over unchanged.
+
+        The composition seam for long-lived hosts: a service driver that
+        warms up before opening the measurement window can take a plan
+        written in *relative* time ("crash at step 500") and anchor it to
+        the window's actual start, without the plan's author knowing when
+        warm-up ends.
+        """
+        if offset < 0:
+            raise ValueError(f"offset must be >= 0, got {offset}")
+        if offset == 0:
+            return self
+        return FaultPlan(
+            loss=self.loss,
+            duplicate=self.duplicate,
+            crashes=tuple(
+                CrashSpec(spec.node, spec.at_step + offset) for spec in self.crashes
+            ),
+            partitions=tuple(
+                PartitionSpec(spec.island, spec.start + offset, spec.heal + offset)
+                for spec in self.partitions
+            ),
+            delays=tuple(
+                DelayBurst(spec.start + offset, spec.duration, spec.fraction)
+                for spec in self.delays
+            ),
+            recoveries=tuple(
+                RecoverySpec(
+                    spec.node,
+                    spec.crash_step + offset,
+                    spec.recover_step + offset,
+                    spec.amnesia,
+                )
+                for spec in self.recoveries
+            ),
+        )
+
     def describe(self) -> str:
         parts: List[str] = []
         if self.loss:

@@ -5,25 +5,45 @@ exactly-once FIFO channels.  :class:`ReliableNode` restores that model over
 a faulty network, so every protocol built on :class:`~repro.sim.network.SimNode`
 (the Generic/Bounded/Ad-hoc :class:`~repro.core.node.DiscoveryNode`, the
 asynchronous baselines) runs **unchanged** under message loss, duplication
-and reordering.  It is the classic reliable-transport construction:
+and reordering.  Two transport generations live behind the one seam,
+selected by ``transport=``:
+
+``transport="sr"`` (default) -- the v2 selective-repeat transport:
 
 * the sender stamps each payload with a **per-destination sequence number**
-  and keeps it buffered until acknowledged;
-* the receiver delivers payloads to the wrapped node **in sequence order,
-  exactly once** -- out-of-order arrivals are parked, duplicates discarded
-  -- and answers every data message with a **cumulative ack**;
-* an unacked channel is **retransmitted go-back-N style** on a timeout
-  measured in simulator steps (the asynchronous model's only clock), with
-  **exponential backoff**; after ``max_retries`` fruitless rounds the
-  channel gives up and records the payloads as undeliverable (the peer is
-  presumed crashed -- retrying forever would forfeit quiescence).
+  and keeps it buffered until cumulatively acknowledged;
+* acks are **piggybacked and delayed**: when protocol traffic flows back
+  the cumulative ack rides on the next data frame for one extra id worth
+  of bits; an idle receiver confirms via a **delayed-ack timer**
+  (``ack_delay`` virtual steps) instead of acking every frame;
+* losses are repaired by **selective repeat with a NACK fast path**: the
+  receiver parks out-of-order arrivals and, on detecting a sequence gap,
+  immediately names the missing seqs in an explicit :class:`Nack`; the
+  sender retransmits exactly those frames.  The retransmit timer is the
+  backstop, and it resends only the head-of-line frame per firing -- a
+  single lost frame never triggers retransmission of the whole window;
+* retransmit timeouts are **adaptive**: each channel runs a Jacobson-style
+  smoothed RTT/variance estimator in virtual time (``rto = srtt +
+  4*rttvar``, clamped to ``[min_rto, max_rto]``), with **Karn's rule**
+  (retransmitted frames never produce RTT samples) and exponential backoff
+  on repeated timeouts.
+
+``transport="gbn"`` -- the v1 go-back-N transport, kept verbatim for
+differential testing: ack-per-frame, full-window retransmission on every
+timeout, fixed ``base_timeout`` with exponential backoff.
+
+In both modes an unacked channel gives up after ``max_retries`` fruitless
+timeout rounds and records the payloads as undeliverable (the peer is
+presumed crashed -- retrying forever would forfeit quiescence).
 
 Overhead accounting (the quantity ``BENCH_faults.json`` tracks): the first
 copy of a payload is charged under the payload's own message type (plus
-``id_bits`` for the sequence number), so the protocol's per-type lemma
+``id_bits`` for the sequence number, plus one more ``id_bits`` when a
+cumulative ack is piggybacked), so the protocol's per-type lemma
 accounting stays meaningful; every retransmission is charged as
-``rt-retrans`` and every ack as ``rt-ack``.  ``messages("rt-retrans",
-"rt-ack")`` is therefore exactly the price of reliability.
+``rt-retrans``, every standalone ack as ``rt-ack`` and every NACK as
+``rt-nack``.  ``messages(*OVERHEAD_TYPES)`` is therefore exactly the price
+of reliability.
 
 Give-up is the transport's only departure from exactly-once semantics: a
 payload addressed to a crashed peer is eventually dropped.  That is
@@ -44,14 +64,16 @@ but ignorant sender additionally *teaches* it the new epoch via a
 progress-free ack, upon which the sender re-keys its channel and re-queues
 its unacked payloads to the new incarnation -- the repair that lets
 half-open protocol conversations complete across a peer's restart.  The
-steady-state cost is three extra O(log n)-bit integers per frame, charged
-to the frame's own type.
+re-keyed channel starts with a zero retry count and a fresh RTT estimator:
+whatever give-up budget the stale incarnation consumed never counts
+against the live one.  The steady-state cost is three extra O(log n)-bit
+integers per frame, charged to the frame's own type.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Hashable, List, Optional, Tuple
+from typing import Any, Dict, Hashable, List, Optional, Set, Tuple
 
 from repro.obs.events import RunEvent
 from repro.sim.events import TimerToken
@@ -63,10 +85,13 @@ NodeId = Hashable
 __all__ = [
     "Data",
     "Ack",
+    "Nack",
     "ReliableNode",
     "RT_RETRANS",
     "RT_ACK",
+    "RT_NACK",
     "OVERHEAD_TYPES",
+    "TRANSPORTS",
     "retransmission_overhead",
     "transport_totals",
 ]
@@ -74,7 +99,22 @@ __all__ = [
 #: Message types charged as recovery overhead, never protocol traffic.
 RT_RETRANS = "rt-retrans"
 RT_ACK = "rt-ack"
-OVERHEAD_TYPES = (RT_RETRANS, RT_ACK)
+RT_NACK = "rt-nack"
+OVERHEAD_TYPES = (RT_RETRANS, RT_ACK, RT_NACK)
+
+#: The selectable transport generations.
+TRANSPORTS = ("sr", "gbn")
+
+#: Tag prefix distinguishing a receiver-side delayed-ack timer (tagged
+#: ``(_ACK_TAG, peer)``) from the per-destination retransmit timers
+#: (tagged with the bare peer id).
+_ACK_TAG = "rt-delayed-ack"
+
+#: Recent-maximum RTT window lifetime, in units of ``base_timeout``:
+#: samples older than this stop flooring the RTO, letting end-of-run
+#: repairs use tight timeouts once the congestion that produced the big
+#: samples has drained.
+_RTT_WINDOW_LIFETIMES = 1
 
 
 @dataclass(frozen=True)
@@ -85,7 +125,9 @@ class Data:
     ``dst_epoch`` is the sender's belief of the receiver's incarnation.
     Both are 0 for nodes that have never crashed, so the epoch machinery
     is invisible until a :class:`~repro.faults.plan.RecoverySpec` is in
-    play.
+    play.  ``ack`` is the piggybacked cumulative ack of the *reverse*
+    channel (selective-repeat mode only; ``None`` when the frame carries
+    no ack), costing one extra id worth of bits on the carrying frame.
     """
 
     seq: int
@@ -93,6 +135,7 @@ class Data:
     retransmit: bool = False
     src_epoch: int = 0
     dst_epoch: int = 0
+    ack: Optional[int] = None
 
     @property
     def msg_type(self) -> str:
@@ -104,8 +147,12 @@ class Data:
         return getattr(self.payload, "msg_type", "data")
 
     def bit_size(self, id_bits: int) -> int:
-        # Payload bits + seq number + two O(log n)-bit epoch stamps.
-        return self.payload.bit_size(id_bits) + 3 * id_bits
+        # Payload bits + seq number + two O(log n)-bit epoch stamps
+        # (+ one piggybacked cumulative ack when present).
+        bits = self.payload.bit_size(id_bits) + 3 * id_bits
+        if self.ack is not None:
+            bits += id_bits
+        return bits
 
 
 @dataclass(frozen=True)
@@ -119,6 +166,25 @@ class Ack:
 
     def bit_size(self, id_bits: int) -> int:
         return bits_for_ids(0, id_bits, extra_ints=3)
+
+
+@dataclass(frozen=True)
+class Nack:
+    """Gap report: cumulative ack ``cum`` plus the missing seqs above it.
+
+    The selective-repeat fast path: the receiver names exactly the frames
+    a gap proves lost so the sender repairs them immediately instead of
+    waiting out a retransmit timeout.  Doubles as a cumulative ack.
+    """
+
+    cum: int
+    missing: Tuple[int, ...]
+    src_epoch: int = 0
+    dst_epoch: int = 0
+    msg_type = RT_NACK
+
+    def bit_size(self, id_bits: int) -> int:
+        return bits_for_ids(0, id_bits, extra_ints=3 + len(self.missing))
 
 
 class _Port:
@@ -142,7 +208,19 @@ class _Port:
 class _Channel:
     """Sender-side state for one (self -> dst) reliable channel."""
 
-    __slots__ = ("next_seq", "outstanding", "timer", "attempts", "timeout")
+    __slots__ = (
+        "next_seq",
+        "outstanding",
+        "timer",
+        "attempts",
+        "timeout",
+        "sent_at",
+        "last_tx",
+        "last_progress",
+        "resent",
+        "srtt",
+        "rttvar",
+    )
 
     def __init__(self) -> None:
         self.next_seq = 0
@@ -150,6 +228,13 @@ class _Channel:
         self.timer: Optional[TimerToken] = None
         self.attempts = 0
         self.timeout = 0  # set on first arm
+        self.last_tx = 0  # step of the channel's latest (re)transmission
+        self.last_progress: Optional[int] = None  # step of last ack progress
+        # -- selective-repeat extensions --
+        self.sent_at: Dict[int, int] = {}  # seq -> first-transmit step (RTT samples)
+        self.resent: Set[int] = set()  # retransmitted seqs (Karn's rule)
+        self.srtt: Optional[float] = None  # smoothed RTT, virtual steps
+        self.rttvar = 0.0
 
 
 class ReliableNode(SimNode):
@@ -165,14 +250,32 @@ class ReliableNode(SimNode):
     inner:
         The protocol node to protect.  Must not already be bound.
     base_timeout:
-        First retransmit timeout in simulator steps.  Too small merely
-        wastes overhead (spurious retransmits are deduplicated); too large
-        slows recovery.  Scale with system size: every node's handler
-        steps share the one global step clock.
+        First retransmit timeout in simulator steps (and, in ``sr`` mode,
+        the RTO used until the channel's estimator has its first sample).
+        Too small merely wastes overhead (spurious retransmits are
+        deduplicated); too large slows recovery.  Scale with system size:
+        every node's handler steps share the one global step clock.
     max_retries:
-        Retransmission rounds before a channel gives up (presumed-crashed
-        peer).  With exponential backoff the give-up horizon is
-        ``base_timeout * (2^(max_retries+1) - 1)`` steps.
+        Consecutive fruitless timeout rounds before a channel gives up
+        (presumed-crashed peer).  In ``gbn`` mode with exponential backoff
+        the give-up horizon is ``base_timeout * (2^(max_retries+1) - 1)``
+        steps; in ``sr`` mode the horizon is adaptive (RTO-driven) but the
+        round count is the same.
+    transport:
+        ``"sr"`` (default) for the selective-repeat v2 transport,
+        ``"gbn"`` for the v1 go-back-N path (kept for differential
+        testing).
+    ack_delay:
+        ``sr`` only -- how long (virtual steps) a receiver may sit on an
+        owed cumulative ack waiting for reverse traffic to piggyback on.
+        Default ``max(2, base_timeout // 8)``.
+    min_rto / max_rto:
+        ``sr`` only -- clamp on the adaptive retransmit timeout.
+        ``min_rto`` defaults to ``max(4, 2 * ack_delay)`` (an RTO below the
+        peer's ack delay guarantees spurious retransmits); ``max_rto``
+        defaults to ``8 * base_timeout`` and also caps the exponential
+        backoff -- an uncapped backoff turns every lost retransmission
+        into thousands of steps of timer waiting.
     """
 
     def __init__(
@@ -182,6 +285,10 @@ class ReliableNode(SimNode):
         base_timeout: int = 64,
         max_retries: int = 6,
         backoff: float = 2.0,
+        transport: str = "sr",
+        ack_delay: Optional[int] = None,
+        min_rto: Optional[int] = None,
+        max_rto: Optional[int] = None,
     ) -> None:
         if base_timeout < 1:
             raise ValueError(f"base_timeout must be >= 1, got {base_timeout}")
@@ -189,6 +296,20 @@ class ReliableNode(SimNode):
             raise ValueError(f"max_retries must be >= 0, got {max_retries}")
         if backoff < 1.0:
             raise ValueError(f"backoff must be >= 1.0, got {backoff}")
+        if transport not in TRANSPORTS:
+            raise ValueError(f"transport must be one of {TRANSPORTS}, got {transport!r}")
+        if ack_delay is None:
+            ack_delay = max(2, base_timeout // 8)
+        if ack_delay < 1:
+            raise ValueError(f"ack_delay must be >= 1, got {ack_delay}")
+        if min_rto is None:
+            min_rto = max(4, 2 * ack_delay)
+        if max_rto is None:
+            max_rto = 8 * base_timeout
+        if min_rto < 1:
+            raise ValueError(f"min_rto must be >= 1, got {min_rto}")
+        if max_rto < min_rto:
+            raise ValueError(f"need max_rto >= min_rto, got {max_rto} < {min_rto}")
         super().__init__(inner.node_id)
         if inner._sim is not None:
             raise SimulationError(
@@ -199,9 +320,46 @@ class ReliableNode(SimNode):
         self.base_timeout = base_timeout
         self.max_retries = max_retries
         self.backoff = backoff
+        self.transport = transport
+        self.ack_delay = ack_delay
+        self.min_rto = min_rto
+        self.max_rto = max_rto
         self._channels: Dict[NodeId, _Channel] = {}
         self._expected: Dict[NodeId, int] = {}
         self._reorder: Dict[NodeId, Dict[int, Any]] = {}
+        # -- selective-repeat receiver state --
+        self._ack_owed: Set[NodeId] = set()
+        self._ack_timers: Dict[NodeId, TimerToken] = {}
+        self._nacked: Dict[NodeId, Set[int]] = {}
+        # Node-wide RTT estimator: seeds the RTO of channels that have no
+        # sample of their own yet.  In a busy system the dominant RTT term
+        # is the shared delivery queue, so a fresh channel's first timeout
+        # should reflect current congestion, not the static base_timeout --
+        # otherwise every channel's first frame risks a spurious retransmit
+        # while the real ack is still queued.
+        self._srtt: Optional[float] = None
+        self._rttvar = 0.0
+        # The v1 give-up horizon: how long gbn's fixed backoff ladder waits
+        # on a silent peer before declaring it crashed.  sr's time-based
+        # give-up matches it (see on_timer) so the v2 transport is never
+        # *quicker* to drop a payload than the transport it replaces.
+        horizon, timeout = 0, base_timeout
+        for _ in range(max_retries + 1):
+            horizon += timeout
+            timeout = int(timeout * backoff) or base_timeout
+        self._giveup_horizon = horizon
+        # Recent-maximum RTT window: the smoothed estimator lags behind a
+        # congestion ramp (its gain is 1/8 while ack latency can grow 10x
+        # within one burst), so the RTO is floored at the largest sample
+        # seen recently.  Entries age out, letting end-of-run repairs --
+        # when the queue has drained and acks return fast -- use tight
+        # timeouts again instead of mid-run congestion estimates.
+        self._rtt_window: List[Tuple[int, float]] = []
+        # Last step an ack of any kind (piggybacked, delayed, immediate,
+        # NACK-carried) was sent to each peer, for duplicate-ack
+        # suppression: a duplicate arriving while our ack is plausibly
+        # still in flight does not warrant paying for another one.
+        self._last_ack_step: Dict[NodeId, int] = {}
         # -- incarnation epochs (crash-recovery model) --
         self.epoch = 0
         self._peer_epochs: Dict[NodeId, int] = {}
@@ -212,8 +370,14 @@ class ReliableNode(SimNode):
         self.recovery: Optional[Any] = None
         # -- transport telemetry --
         self.retransmissions = 0
+        self.fast_retransmissions = 0
         self.duplicates_discarded = 0
         self.reordered_buffered = 0
+        self.acks_piggybacked = 0
+        self.acks_delayed = 0
+        self.acks_immediate = 0
+        self.nacks_sent = 0
+        self.rtt_samples = 0
         self.epoch_fenced = 0
         self.epoch_resets = 0
         self.undeliverable: List[Tuple[NodeId, Any]] = []
@@ -232,20 +396,36 @@ class ReliableNode(SimNode):
         seq = channel.next_seq
         channel.next_seq += 1
         channel.outstanding[seq] = payload
+        if self.transport == "sr":
+            channel.sent_at[seq] = self.sim.steps
+            channel.last_tx = self.sim.steps
         self.sim.transmit(self.node_id, dst, self._frame(dst, seq, payload))
         if channel.timer is None:
             self._arm(dst, channel, reset_backoff=True)
 
     def _frame(self, dst: NodeId, seq: int, payload: Any, *, retransmit: bool = False) -> Data:
+        ack = None
+        if self.transport == "sr" and dst in self._ack_owed:
+            # Piggyback: the owed cumulative ack rides on this frame for
+            # one id worth of bits, discharging the delayed-ack timer.
+            ack = self._expected.get(dst, 0) - 1
+            self._ack_owed.discard(dst)
+            self._cancel_ack_timer(dst)
+            self._last_ack_step[dst] = self.sim.steps
+            self.acks_piggybacked += 1
         return Data(
             seq,
             payload,
             retransmit=retransmit,
             src_epoch=self.epoch,
             dst_epoch=self._peer_epochs.get(dst, 0),
+            ack=ack,
         )
 
     def on_timer(self, tag: Hashable) -> None:
+        if type(tag) is tuple and len(tag) == 2 and tag[0] == _ACK_TAG:
+            self._fire_delayed_ack(tag[1])
+            return
         dst = tag
         channel = self._channels.get(dst)
         if channel is None:
@@ -253,8 +433,39 @@ class ReliableNode(SimNode):
         channel.timer = None
         if not channel.outstanding:
             return  # acked while the timer was in flight
+        if self.transport == "sr":
+            # Re-validate the deadline against the *current* RTO estimate:
+            # the timer may have been armed before the estimator had any
+            # sample (first wave of a busy run), in which case firing now
+            # would retransmit a frame whose ack is still queued.  Waiting
+            # out the refreshed estimate is not a fruitless round.
+            rto = self._rto(channel)
+            waited = self.sim.steps - channel.last_tx
+            if waited < rto:
+                channel.timeout = rto - waited
+                channel.timer = self.sim.schedule_timer(
+                    self.node_id, channel.timeout, tag=dst
+                )
+                return
         channel.attempts += 1
         obs = getattr(self.sim, "obs", None)
+        if channel.attempts > self.max_retries and self.transport == "sr":
+            # Adaptive RTOs make sr's retry rounds far shorter than gbn's
+            # fixed ladder, so a bare round count would give up on a live
+            # peer an order of magnitude sooner than v1 did -- at 20% loss
+            # an unlucky streak of lost repairs then *drops* a deliverable
+            # payload.  Give-up is therefore time-based: the round budget
+            # refills until the channel has been fruitless (no ack
+            # progress since the head-of-line frame was first sent) for as
+            # long as gbn's full backoff ladder would have waited.
+            head_sent = channel.sent_at.get(min(channel.outstanding), channel.last_tx)
+            fruitless_since = (
+                head_sent
+                if channel.last_progress is None
+                else max(head_sent, channel.last_progress)
+            )
+            if self.sim.steps - fruitless_since < self._giveup_horizon:
+                channel.attempts = self.max_retries
         if channel.attempts > self.max_retries:
             # Peer presumed crashed: drop the channel's backlog so the
             # system can quiesce.  Liveness may degrade; safety cannot --
@@ -272,8 +483,15 @@ class ReliableNode(SimNode):
             for seq in sorted(channel.outstanding):
                 self.undeliverable.append((dst, channel.outstanding[seq]))
             channel.outstanding.clear()
+            channel.sent_at.clear()
+            channel.resent.clear()
             return
-        for seq in sorted(channel.outstanding):
+        if self.transport == "sr":
+            # Selective repeat: the timer is the backstop, and it repairs
+            # only the head-of-line frame -- anything else still missing
+            # is the NACK fast path's job (or the next timeout's, with
+            # backoff).  Karn's rule: the resent frame never samples RTT.
+            seq = min(channel.outstanding)
             payload = channel.outstanding[seq]
             if obs is not None:
                 obs.emit(
@@ -288,22 +506,76 @@ class ReliableNode(SimNode):
                 )
             self.sim.transmit(self.node_id, dst, self._frame(dst, seq, payload, retransmit=True))
             self.retransmissions += 1
-        channel.timeout = int(channel.timeout * self.backoff) or self.base_timeout
+            channel.resent.add(seq)
+            channel.last_tx = self.sim.steps
+            channel.timeout = min(self.max_rto, (channel.timeout * 2) or self.base_timeout)
+        else:
+            for seq in sorted(channel.outstanding):
+                payload = channel.outstanding[seq]
+                if obs is not None:
+                    obs.emit(
+                        RunEvent(
+                            self.sim.steps,
+                            "retransmit",
+                            node=self.node_id,
+                            peer=dst,
+                            msg_type=getattr(payload, "msg_type", "data"),
+                            value=channel.attempts,
+                        )
+                    )
+                self.sim.transmit(self.node_id, dst, self._frame(dst, seq, payload, retransmit=True))
+                self.retransmissions += 1
+            channel.timeout = int(channel.timeout * self.backoff) or self.base_timeout
         self._arm(dst, channel, reset_backoff=False)
+
+    def _rto(self, channel: _Channel) -> int:
+        """Adaptive retransmit timeout: ``srtt + 4*rttvar`` clamped.
+
+        A channel with no sample of its own borrows the node-wide
+        estimator (current congestion); ``base_timeout`` only until this
+        node has seen its very first ack.  The result is floored at 1.25x
+        the largest recent sample: a smoothed mean lags a congestion ramp
+        badly enough to fire timers while real acks are still queued.
+        """
+        srtt, rttvar = channel.srtt, channel.rttvar
+        if srtt is None:
+            srtt, rttvar = self._srtt, self._rttvar
+        if srtt is None:
+            # No ack observed yet, anywhere: the network's RTT is unknown
+            # and the opening wave is its most congested moment.  Double
+            # the configured base so the first timeout doubles as an RTT
+            # probe window instead of a guaranteed spurious retransmit.
+            return min(self.max_rto, 2 * self.base_timeout)
+        rto = int(srtt + 4.0 * rttvar) + 1
+        window = self._rtt_window
+        if window:
+            horizon = self.sim.steps - _RTT_WINDOW_LIFETIMES * self.base_timeout
+            while window and window[0][0] < horizon:
+                window.pop(0)
+            if window:
+                rto = max(rto, int(1.25 * max(s for _, s in window)) + 1)
+        return min(self.max_rto, max(self.min_rto, rto))
 
     def _arm(self, dst: NodeId, channel: _Channel, *, reset_backoff: bool) -> None:
         if reset_backoff:
             channel.attempts = 0
-            channel.timeout = self.base_timeout
+            channel.timeout = (
+                self._rto(channel) if self.transport == "sr" else self.base_timeout
+            )
         channel.timer = self.sim.schedule_timer(self.node_id, channel.timeout, tag=dst)
 
-    def _handle_ack(self, dst: NodeId, ack: Ack) -> None:
+    def _handle_ack(self, dst: NodeId, cum: int) -> None:
         channel = self._channels.get(dst)
         if channel is None:
             return
-        acked = [seq for seq in channel.outstanding if seq <= ack.cum]
+        acked = [seq for seq in channel.outstanding if seq <= cum]
+        if self.transport == "sr" and acked:
+            self._sample_rtt(channel, acked)
+            channel.last_progress = self.sim.steps
         for seq in acked:
             del channel.outstanding[seq]
+            channel.sent_at.pop(seq, None)
+            channel.resent.discard(seq)
         if channel.timer is not None and (acked or not channel.outstanding):
             # Progress: stop the pending timer; re-arm fresh if the channel
             # still has unacked traffic (backoff resets -- the peer lives).
@@ -312,35 +584,232 @@ class ReliableNode(SimNode):
         if channel.outstanding and channel.timer is None:
             self._arm(dst, channel, reset_backoff=True)
 
+    def _sample_rtt(self, channel: _Channel, acked: List[int]) -> None:
+        """Feed the newest unambiguous sample into the Jacobson estimator.
+
+        Karn's rule: a retransmitted frame's ack is ambiguous (it may
+        answer either copy), so only never-resent frames sample.
+        """
+        eligible = [
+            seq for seq in acked if seq not in channel.resent and seq in channel.sent_at
+        ]
+        if not eligible:
+            return
+        sample = float(self.sim.steps - channel.sent_at[max(eligible)])
+        if channel.srtt is None:
+            channel.srtt = sample
+            channel.rttvar = sample / 2.0
+        else:
+            channel.rttvar = 0.75 * channel.rttvar + 0.25 * abs(channel.srtt - sample)
+            channel.srtt = 0.875 * channel.srtt + 0.125 * sample
+        if self._srtt is None:
+            self._srtt = sample
+            self._rttvar = sample / 2.0
+        else:
+            self._rttvar = 0.75 * self._rttvar + 0.25 * abs(self._srtt - sample)
+            self._srtt = 0.875 * self._srtt + 0.125 * sample
+        self._rtt_window.append((self.sim.steps, sample))
+        self.rtt_samples += 1
+
+    def _handle_nack(self, dst: NodeId, nack: Nack) -> None:
+        # The cumulative half releases acked frames (and may sample RTT).
+        self._handle_ack(dst, nack.cum)
+        channel = self._channels.get(dst)
+        if channel is None or not channel.outstanding:
+            return
+        obs = getattr(self.sim, "obs", None)
+        repaired = False
+        for seq in nack.missing:
+            payload = channel.outstanding.get(seq)
+            if payload is None:
+                continue  # already acked (stale NACK) -- nothing to repair
+            if obs is not None:
+                obs.emit(
+                    RunEvent(
+                        self.sim.steps,
+                        "retransmit",
+                        node=self.node_id,
+                        peer=dst,
+                        msg_type=getattr(payload, "msg_type", "data"),
+                        value="nack",
+                    )
+                )
+            self.sim.transmit(self.node_id, dst, self._frame(dst, seq, payload, retransmit=True))
+            self.retransmissions += 1
+            self.fast_retransmissions += 1
+            channel.resent.add(seq)
+            channel.last_tx = self.sim.steps
+            repaired = True
+        if repaired:
+            # The peer is demonstrably alive: whatever timeout budget the
+            # pending timer consumed belongs to a live conversation.
+            if channel.timer is not None:
+                self.sim.cancel_timer(channel.timer)
+                channel.timer = None
+            self._arm(dst, channel, reset_backoff=True)
+
     # ------------------------------------------------------------------
     # receiver side
     # ------------------------------------------------------------------
     def _handle_data(self, src: NodeId, data: Data) -> None:
+        if data.ack is not None:
+            self._handle_ack(src, data.ack)
         expected = self._expected.setdefault(src, 0)
-        if data.seq == expected:
-            self._deliver(src, data.payload)
-            expected += 1
-            parked = self._reorder.get(src)
-            while parked and expected in parked:
-                self._deliver(src, parked.pop(expected))
-                expected += 1
-            self._expected[src] = expected
-        elif data.seq > expected:
+        if data.seq > expected:
             parked = self._reorder.setdefault(src, {})
             if data.seq not in parked:
                 parked[data.seq] = data.payload
                 self.reordered_buffered += 1
             else:
                 self.duplicates_discarded += 1
-        else:
+            if self.transport == "sr":
+                # Gap detected: name every seq below the arrival that is
+                # neither parked nor already NACKed.  The NACK carries the
+                # cumulative ack, so it discharges any owed delayed ack.
+                nacked = self._nacked.setdefault(src, set())
+                gaps = [
+                    seq
+                    for seq in range(expected, data.seq)
+                    if seq not in parked and seq not in nacked
+                ]
+                if gaps:
+                    self._send_nack(src, expected - 1, gaps)
+                else:
+                    self._owe_ack(src)
+            else:
+                self._ack_per_frame(src)
+            return
+        if data.seq < expected:
             self.duplicates_discarded += 1
-        # Cumulative ack; also re-acks duplicates so a lost ack is repaired
-        # by the retransmission it provokes.
+            if self.transport == "sr":
+                # A duplicate means the sender is retransmitting -- its
+                # copy of our ack was lost or slow.  Re-ack immediately:
+                # repair confirmations must not wait out another ack_delay
+                # (a lost ack would otherwise cost rto + ack_delay per
+                # retry round and ratchet the sender toward give-up).
+                # Exception: if we acked this peer within the last
+                # ack_delay steps, that ack is plausibly still in flight
+                # and answers the retransmission -- don't pay for another.
+                if self.sim.steps - self._last_ack_step.get(src, -(1 << 30)) <= self.ack_delay // 2:
+                    self._owe_ack(src)
+                else:
+                    self._ack_now(src)
+            else:
+                self._ack_per_frame(src)
+            return
+        # In-order: advance the receive cursor and mark the ack debt
+        # *before* running the handlers, so a protocol reply sent from
+        # inside _deliver piggybacks a cumulative ack covering this very
+        # frame -- request/reply conversations then never pay a standalone
+        # ack.  Handlers cannot re-enter this path (sends are enqueued, not
+        # delivered synchronously), so collecting the batch first is safe.
+        batch = [data.payload]
+        expected += 1
+        parked = self._reorder.get(src)
+        while parked and expected in parked:
+            batch.append(parked.pop(expected))
+            expected += 1
+        self._expected[src] = expected
+        if self.transport == "sr":
+            nacked = self._nacked.get(src)
+            if nacked:
+                nacked.difference_update({s for s in nacked if s < expected})
+            self._ack_owed.add(src)
+        for payload in batch:
+            self._deliver(src, payload)
+        if self.transport == "sr":
+            if src in self._ack_owed:  # no reply piggybacked it
+                if data.retransmit:
+                    self._ack_now(src)  # repair confirmation: don't delay
+                else:
+                    self._arm_ack_timer(src)
+        else:
+            self._ack_per_frame(src)
+
+    def _ack_per_frame(self, src: NodeId) -> None:
+        # go-back-N: ack every frame; re-acking duplicates repairs a
+        # lost ack via the retransmission it provokes.
         self.sim.transmit(
             self.node_id,
             src,
             Ack(
-                self._expected[src] - 1,
+                self._expected.get(src, 0) - 1,
+                src_epoch=self.epoch,
+                dst_epoch=self._peer_epochs.get(src, 0),
+            ),
+        )
+
+    def _owe_ack(self, src: NodeId) -> None:
+        self._ack_owed.add(src)
+        self._arm_ack_timer(src)
+
+    def _arm_ack_timer(self, src: NodeId) -> None:
+        if src not in self._ack_timers:
+            self._ack_timers[src] = self.sim.schedule_timer(
+                self.node_id, self.ack_delay, tag=(_ACK_TAG, src)
+            )
+
+    def _ack_now(self, src: NodeId) -> None:
+        """Standalone cumulative ack, sent immediately (repair path)."""
+        self._ack_owed.discard(src)
+        self._cancel_ack_timer(src)
+        self._last_ack_step[src] = self.sim.steps
+        self.acks_immediate += 1
+        self.sim.transmit(
+            self.node_id,
+            src,
+            Ack(
+                self._expected.get(src, 0) - 1,
+                src_epoch=self.epoch,
+                dst_epoch=self._peer_epochs.get(src, 0),
+            ),
+        )
+
+    def _fire_delayed_ack(self, src: NodeId) -> None:
+        self._ack_timers.pop(src, None)
+        if src not in self._ack_owed:
+            return
+        self._ack_owed.discard(src)
+        self._last_ack_step[src] = self.sim.steps
+        self.acks_delayed += 1
+        self.sim.transmit(
+            self.node_id,
+            src,
+            Ack(
+                self._expected.get(src, 0) - 1,
+                src_epoch=self.epoch,
+                dst_epoch=self._peer_epochs.get(src, 0),
+            ),
+        )
+
+    def _cancel_ack_timer(self, src: NodeId) -> None:
+        token = self._ack_timers.pop(src, None)
+        if token is not None:
+            self.sim.cancel_timer(token)
+
+    def _send_nack(self, src: NodeId, cum: int, gaps: List[int]) -> None:
+        self._nacked.setdefault(src, set()).update(gaps)
+        self._ack_owed.discard(src)
+        self._cancel_ack_timer(src)
+        self._last_ack_step[src] = self.sim.steps
+        self.nacks_sent += 1
+        obs = getattr(self.sim, "obs", None)
+        if obs is not None:
+            obs.emit(
+                RunEvent(
+                    self.sim.steps,
+                    "nack",
+                    node=self.node_id,
+                    peer=src,
+                    value=f"missing x{len(gaps)}",
+                )
+            )
+        self.sim.transmit(
+            self.node_id,
+            src,
+            Nack(
+                cum,
+                tuple(gaps),
                 src_epoch=self.epoch,
                 dst_epoch=self._peer_epochs.get(src, 0),
             ),
@@ -414,25 +883,32 @@ class ReliableNode(SimNode):
         """``peer`` restarted: re-key all transport state shared with its
         old incarnation.
 
-        Receiver state (expected seq, reorder park) belonged to the dead
-        incarnation's channel and is simply dropped -- the new incarnation
-        restarts at seq 0.  The sender-side channel is *re-queued*, not
-        dropped: every outstanding payload carries a now-stale
-        ``dst_epoch`` (our belief was constant over the channel's
-        lifetime) and would be fenced on arrival, but the payloads
-        themselves are protocol messages our wrapped node still expects
-        answers to.  Re-framing them on a fresh channel to the new
+        Receiver state (expected seq, reorder park, owed/NACKed acks)
+        belonged to the dead incarnation's channel and is simply dropped --
+        the new incarnation restarts at seq 0.  The sender-side channel is
+        *re-queued*, not dropped: every outstanding payload carries a
+        now-stale ``dst_epoch`` (our belief was constant over the
+        channel's lifetime) and would be fenced on arrival, but the
+        payloads themselves are protocol messages our wrapped node still
+        expects answers to.  Re-framing them on a fresh channel to the new
         incarnation is what lets a half-open conversation (a search
         awaiting its release, a conquest awaiting its more-done) complete
-        against the restarted peer instead of hanging forever.  To the
-        asynchronous model this is indistinguishable from a very slow
-        channel; a restarted peer whose state makes a re-queued message
-        impossible fails loudly via ProtocolError, never silently.
+        against the restarted peer instead of hanging forever.  The fresh
+        channel starts with ``attempts = 0`` and an empty RTT estimator:
+        the give-up budget and backoff the *stale* incarnation consumed
+        must never be charged to the live one.  To the asynchronous model
+        this is indistinguishable from a very slow channel; a restarted
+        peer whose state makes a re-queued message impossible fails loudly
+        via ProtocolError, never silently.
         """
         self._peer_epochs[peer] = new_epoch
         self.epoch_resets += 1
         self._expected.pop(peer, None)
         self._reorder.pop(peer, None)
+        self._ack_owed.discard(peer)
+        self._cancel_ack_timer(peer)
+        self._nacked.pop(peer, None)
+        self._last_ack_step.pop(peer, None)
         channel = self._channels.pop(peer, None)
         if channel is not None:
             if channel.timer is not None:
@@ -445,6 +921,12 @@ class ReliableNode(SimNode):
                     new_seq = fresh.next_seq
                     fresh.next_seq += 1
                     fresh.outstanding[new_seq] = payload
+                    if self.transport == "sr":
+                        # First transmission on the fresh channel: any ack
+                        # is unambiguous, so it may sample RTT despite the
+                        # rt-retrans accounting.
+                        fresh.sent_at[new_seq] = self.sim.steps
+                        fresh.last_tx = self.sim.steps
                     self.sim.transmit(
                         self.node_id,
                         peer,
@@ -459,9 +941,9 @@ class ReliableNode(SimNode):
 
         Called by the recovery manager when the node comes back: all
         pre-crash channel state (seqnums, retransmit buffers, reorder
-        parks, peer-epoch beliefs) is the old incarnation's and must not
-        leak into the new one -- that is exactly what epoch fencing
-        guarantees the *peers* will discard, so we discard it too.
+        parks, ack debts, peer-epoch beliefs) is the old incarnation's and
+        must not leak into the new one -- that is exactly what epoch
+        fencing guarantees the *peers* will discard, so we discard it too.
         """
         if epoch <= self.epoch:
             raise SimulationError(
@@ -473,9 +955,18 @@ class ReliableNode(SimNode):
                 channel.timer = None
             for seq in sorted(channel.outstanding):
                 self.undeliverable.append((dst, channel.outstanding[seq]))
+        for token in self._ack_timers.values():
+            self.sim.cancel_timer(token)
         self._channels = {}
         self._expected = {}
         self._reorder = {}
+        self._ack_owed = set()
+        self._ack_timers = {}
+        self._nacked = {}
+        self._last_ack_step = {}
+        self._srtt = None
+        self._rttvar = 0.0
+        self._rtt_window = []
         self._peer_epochs = {}
         self.epoch = epoch
 
@@ -497,7 +988,11 @@ class ReliableNode(SimNode):
         elif isinstance(message, Ack):
             if not self._epoch_admit(sender, message):
                 return
-            self._handle_ack(sender, message)
+            self._handle_ack(sender, message.cum)
+        elif isinstance(message, Nack):
+            if not self._epoch_admit(sender, message):
+                return
+            self._handle_nack(sender, message)
         else:
             raise SimulationError(
                 f"reliable node {self.node_id!r} got a raw {message!r}; mixing "
@@ -505,13 +1000,17 @@ class ReliableNode(SimNode):
             )
 
     def on_crash(self) -> None:
-        # Silence every pending retransmit timer: the injector suppresses
-        # timers during the down window anyway, but a pre-crash timer due
-        # *after* recovery would otherwise fire into the new incarnation.
+        # Silence every pending retransmit and delayed-ack timer: the
+        # injector suppresses timers during the down window anyway, but a
+        # pre-crash timer due *after* recovery would otherwise fire into
+        # the new incarnation.
         for channel in self._channels.values():
             if channel.timer is not None:
                 self.sim.cancel_timer(channel.timer)
                 channel.timer = None
+        for token in self._ack_timers.values():
+            self.sim.cancel_timer(token)
+        self._ack_timers.clear()
         if self.recovery is not None:
             self.recovery.on_crash(self)
 
@@ -547,8 +1046,14 @@ def transport_totals(wrappers: Dict[NodeId, ReliableNode]) -> Dict[str, int]:
     """Aggregate transport telemetry across a system's wrappers."""
     return {
         "retransmissions": sum(w.retransmissions for w in wrappers.values()),
+        "fast_retransmissions": sum(w.fast_retransmissions for w in wrappers.values()),
         "duplicates_discarded": sum(w.duplicates_discarded for w in wrappers.values()),
         "reordered_buffered": sum(w.reordered_buffered for w in wrappers.values()),
+        "acks_piggybacked": sum(w.acks_piggybacked for w in wrappers.values()),
+        "acks_delayed": sum(w.acks_delayed for w in wrappers.values()),
+        "acks_immediate": sum(w.acks_immediate for w in wrappers.values()),
+        "nacks_sent": sum(w.nacks_sent for w in wrappers.values()),
+        "rtt_samples": sum(w.rtt_samples for w in wrappers.values()),
         "undeliverable": sum(len(w.undeliverable) for w in wrappers.values()),
         "epoch_fenced": sum(w.epoch_fenced for w in wrappers.values()),
     }

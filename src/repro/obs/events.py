@@ -26,7 +26,8 @@ __all__ = ["EVENT_KINDS", "RunEvent", "Recorder"]
 
 #: The event taxonomy (DESIGN.md sections 10-11).  ``send`` .. ``timer`` are
 #: transport mechanics, ``state-transition``/``phase-change`` are protocol
-#: progress, ``fault-action``/``retransmit`` are the fault layer's doing,
+#: progress, ``fault-action``/``retransmit``/``nack`` are the fault layer's
+#: doing (``nack`` is the selective-repeat receiver naming a detected gap),
 #: ``job`` is the sweep engine's job-lifecycle analogue, ``service-op`` is
 #: a completed service operation (``repro.service``; value = latency), and
 #: ``crash``/``recover``/``epoch-fence`` belong to the crash-recovery model.
@@ -40,6 +41,7 @@ EVENT_KINDS = (
     "phase-change",
     "fault-action",
     "retransmit",
+    "nack",
     "job",
     "service-op",
     "crash",

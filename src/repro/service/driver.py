@@ -32,6 +32,19 @@ enforces a hard ``step_budget``; exhausting it sets
 service that *is* the result.  After the workload window closes the
 driver drains remaining in-flight work (bounded by the same budget) so
 late probes still resolve to latencies instead of being lost.
+
+Faults in the service loop
+--------------------------
+Pass ``faults=FaultPlan(...)`` (written in *window-relative* virtual
+time) and the driver attaches a seeded
+:class:`~repro.faults.FaultInjector` to the simulator **after** warmup,
+shifting every time-anchored spec by the steps warmup consumed
+(:meth:`FaultPlan.shifted`).  Warmup therefore always establishes a
+clean converged census; the faults hit the *steady state*, which is the
+regime the latency SLOs describe.  Build the network with
+``AdhocNetwork(reliable=True)`` when the plan drops messages -- the
+protocol assumes exactly-once FIFO channels, and without the transport
+a lossy open-loop run measures a broken system, not a degraded one.
 """
 
 from __future__ import annotations
@@ -43,6 +56,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.core.adhoc import AdhocNetwork, ProbeHandle
 from repro.core.dynamic import NodeId
+from repro.faults.plan import FaultInjector, FaultPlan
 from repro.obs.metrics import (
     DEFAULT_CADENCE,
     Histogram,
@@ -119,6 +133,12 @@ class ServiceReport:
     service_messages: int = 0
     service_bits: int = 0
     metrics: Optional[MetricsTimeline] = None
+    #: What the attached fault injector actually did during the window
+    #: (per-kind counts), empty for fault-free runs.
+    fault_counts: Dict[str, int] = field(default_factory=dict)
+    #: Aggregated reliable-transport telemetry (retransmissions, acks,
+    #: undeliverable, ...) when the network runs the transport, else empty.
+    transport_totals: Dict[str, int] = field(default_factory=dict)
 
     @property
     def operations(self) -> int:
@@ -168,6 +188,11 @@ class ServiceDriver:
         quiescent, run the full discovery invariants (slow; tests use it
         to pin that the service returns to a *converged* census between
         bursts).
+    faults:
+        A :class:`~repro.faults.FaultPlan` in window-relative virtual
+        time, attached (seeded with ``fault_seed``) after warmup -- see
+        the module docstring.  The network must not already carry an
+        injector of its own.
     """
 
     def __init__(
@@ -178,9 +203,18 @@ class ServiceDriver:
         step_budget: Optional[int] = None,
         cadence: int = DEFAULT_CADENCE,
         verify_on_reconvergence: bool = False,
+        faults: Optional[FaultPlan] = None,
+        fault_seed: int = 0,
     ) -> None:
         self.net = network
         self.workload = workload
+        if faults is not None and network.sim.faults is not None:
+            raise ValueError(
+                "the network already has a fault injector attached; pass the "
+                "plan to ServiceDriver(faults=...) or to the network, not both"
+            )
+        self.faults = faults
+        self.fault_seed = fault_seed
         if step_budget is None:
             # Enough for every operation to cost hundreds of steps plus a
             # drain tail; an overloaded service hits this and reports it.
@@ -225,6 +259,15 @@ class ServiceDriver:
         report.warmup_messages = sim.stats.total_messages
         warmup_stats = sim.stats.snapshot()
         warmup_bits = sim.stats.total_bits
+
+        injector: Optional[FaultInjector] = None
+        if self.faults is not None:
+            # Anchor the window-relative plan to the steps warmup actually
+            # consumed, then let the injector loose on the steady state.
+            injector = FaultInjector(
+                self.faults.shifted(sim.steps), seed=self.fault_seed, keep_log=False
+            )
+            sim.faults = injector
 
         _registry, metrics = self._build_metrics()
         report.metrics = metrics
@@ -319,6 +362,17 @@ class ServiceDriver:
         report.clock = self._clock
         report.service_messages = delta.total_messages
         report.service_bits = sim.stats.total_bits - warmup_bits
+        if injector is not None:
+            report.fault_counts = dict(injector.counts)
+        if self.net.reliable:
+            from repro.faults.reliable import ReliableNode, transport_totals
+
+            wrappers = {
+                node.node_id: node
+                for node in sim.nodes.values()
+                if isinstance(node, ReliableNode)
+            }
+            report.transport_totals = transport_totals(wrappers)
         checkpoint_curve(force=True)
         metrics.finish(self._clock)
         return report

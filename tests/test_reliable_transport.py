@@ -63,6 +63,7 @@ def run_burst(
     seed=0,
     base_timeout=16,
     max_retries=6,
+    transport="sr",
 ):
     plan = FaultPlan(loss=loss, duplicate=duplicate, crashes=crashes)
     injector = FaultInjector(plan, seed=seed)
@@ -73,10 +74,16 @@ def run_burst(
         channel_seed=seed,
     )
     sender = ReliableNode(
-        Burst("a", "b", count), base_timeout=base_timeout, max_retries=max_retries
+        Burst("a", "b", count),
+        base_timeout=base_timeout,
+        max_retries=max_retries,
+        transport=transport,
     )
     receiver = ReliableNode(
-        Sink("b"), base_timeout=base_timeout, max_retries=max_retries
+        Sink("b"),
+        base_timeout=base_timeout,
+        max_retries=max_retries,
+        transport=transport,
     )
     sim.add_node(sender)
     sim.add_node(receiver)
@@ -86,41 +93,54 @@ def run_burst(
     return sim, sender, receiver
 
 
+@pytest.mark.parametrize("transport", ["sr", "gbn"])
 class TestExactlyOnceFifo:
-    def test_clean_channel(self):
-        sim, sender, receiver = run_burst(20)
+    def test_clean_channel(self, transport):
+        sim, sender, receiver = run_burst(20, transport=transport)
         assert receiver.inner.received == [("a", i) for i in range(20)]
         assert sender.outstanding_total == 0
 
-    def test_heavy_loss(self):
-        sim, sender, receiver = run_burst(20, loss=0.4, seed=2)
+    def test_heavy_loss(self, transport):
+        sim, sender, receiver = run_burst(20, loss=0.4, seed=2, transport=transport)
         assert receiver.inner.received == [("a", i) for i in range(20)]
         assert sender.retransmissions > 0
 
-    def test_heavy_duplication(self):
-        sim, sender, receiver = run_burst(20, duplicate=0.5, seed=3)
+    def test_heavy_duplication(self, transport):
+        sim, sender, receiver = run_burst(
+            20, duplicate=0.5, seed=3, transport=transport
+        )
         assert receiver.inner.received == [("a", i) for i in range(20)]
         assert receiver.duplicates_discarded > 0
 
-    def test_reordering_channels(self):
+    def test_reordering_channels(self, transport):
         # channel_discipline="random" delivers each channel out of order;
         # the transport's reorder buffer must restore sequence order.
         sim, sender, receiver = run_burst(
-            20, channel_discipline="random", seed=4
+            20, channel_discipline="random", seed=4, transport=transport
         )
         assert receiver.inner.received == [("a", i) for i in range(20)]
         assert receiver.reordered_buffered > 0
 
-    def test_loss_duplication_and_reordering_together(self):
+    def test_loss_duplication_and_reordering_together(self, transport):
         sim, sender, receiver = run_burst(
-            30, loss=0.25, duplicate=0.25, channel_discipline="random", seed=5
+            30,
+            loss=0.25,
+            duplicate=0.25,
+            channel_discipline="random",
+            seed=5,
+            transport=transport,
         )
         assert receiver.inner.received == [("a", i) for i in range(30)]
 
     @pytest.mark.parametrize("seed", range(6))
-    def test_many_seeds(self, seed):
+    def test_many_seeds(self, transport, seed):
         sim, sender, receiver = run_burst(
-            15, loss=0.3, duplicate=0.2, channel_discipline="random", seed=seed
+            15,
+            loss=0.3,
+            duplicate=0.2,
+            channel_discipline="random",
+            seed=seed,
+            transport=transport,
         )
         assert receiver.inner.received == [("a", i) for i in range(15)]
 
@@ -139,11 +159,21 @@ class TestOverheadAccounting:
             == sim.stats.total_messages
         )
 
-    def test_clean_channel_overhead_is_acks_only(self):
-        sim, sender, receiver = run_burst(10)
+    def test_clean_channel_overhead_is_acks_only_gbn(self):
+        # v1 go-back-N acks every frame: 10 frames -> 10 standalone acks.
+        sim, sender, receiver = run_burst(10, transport="gbn")
         assert sim.stats.messages("rt-retrans") == sender.retransmissions
         assert sim.stats.messages("rt-ack") == 10
         assert sender.retransmissions == 0
+
+    def test_clean_channel_sr_batches_acks(self):
+        # Selective repeat only sends standalone acks when the delayed-ack
+        # timer fires, batching a whole burst into a few cumulative acks.
+        sim, sender, receiver = run_burst(10, transport="sr")
+        assert sender.retransmissions == 0
+        assert receiver.nacks_sent == 0
+        assert sim.stats.messages("rt-ack") == receiver.acks_delayed
+        assert 0 < sim.stats.messages("rt-ack") < 10
 
     def test_transport_totals_aggregates(self):
         sim, sender, receiver = run_burst(20, loss=0.4, seed=2)
@@ -153,12 +183,17 @@ class TestOverheadAccounting:
 
 
 class TestGiveUp:
-    def test_crashed_peer_gives_up_and_quiesces(self):
+    @pytest.mark.parametrize(
+        "transport,expected_retrans",
+        [("gbn", 2 * 5), ("sr", 2)],  # full-window rounds vs head-of-line only
+    )
+    def test_crashed_peer_gives_up_and_quiesces(self, transport, expected_retrans):
         sim, sender, receiver = run_burst(
             5,
             crashes=(CrashSpec("b", at_step=0),),
             base_timeout=4,
             max_retries=2,
+            transport=transport,
         )
         # The run returned, so the system quiesced despite the dead peer.
         assert sim.is_quiescent
@@ -166,28 +201,46 @@ class TestGiveUp:
         undeliverable_tags = [msg.tag for dst, msg in sender.undeliverable]
         assert undeliverable_tags == list(range(5))
         assert sender.outstanding_total == 0
-        assert sender.retransmissions == 2 * 5  # max_retries rounds of go-back-N
+        assert sender.retransmissions == expected_retrans
 
+    @pytest.mark.parametrize("transport", ["sr", "gbn"])
     @pytest.mark.parametrize("max_retries", [0, 2, 3])
-    def test_give_up_horizon_is_exact(self, max_retries):
+    def test_give_up_horizon_is_exact(self, transport, max_retries):
         # One ping into a dead peer under deterministic FIFO scheduling.
         # The timers double each round, so the transport abandons the
-        # conversation after base_timeout * (2^(max_retries+1) - 1) steps of
-        # waiting; the two extra steps are the wake-ups.  This pins the
-        # worst-case latency bound any caller of reliable_send can rely on.
+        # conversation after a bounded number of waiting steps; the two
+        # extra steps are the wake-ups.  This pins the worst-case latency
+        # bound any caller of reliable_send can rely on.  A dead peer
+        # never acks, so the sr estimator never gets a sample: its first
+        # RTO is the no-sample probe window (2 * base_timeout) and later
+        # rounds double from there, capped at max_rto (8 * base_timeout).
         base_timeout = 2
         plan = FaultPlan(crashes=(CrashSpec("b", at_step=0),))
         sim = Simulator(GlobalFifoScheduler(), faults=FaultInjector(plan, seed=0))
         sender = ReliableNode(
-            Burst("a", "b", 1), base_timeout=base_timeout, max_retries=max_retries
+            Burst("a", "b", 1),
+            base_timeout=base_timeout,
+            max_retries=max_retries,
+            transport=transport,
         )
         sim.add_node(sender)
-        sim.add_node(ReliableNode(Sink("b"), base_timeout=base_timeout))
+        sim.add_node(
+            ReliableNode(Sink("b"), base_timeout=base_timeout, transport=transport)
+        )
         sim.schedule_wake("a")
         sim.schedule_wake("b")
         sim.run()
-        horizon = base_timeout * (2 ** (max_retries + 1) - 1)
-        assert sim.steps == 2 + horizon
+        if transport == "gbn":
+            # Two extra steps: both wake-ups precede the first timeout.
+            horizon = 2 + base_timeout * (2 ** (max_retries + 1) - 1)
+        else:
+            # One extra step: the wider first probe window already covers
+            # the second wake-up and the doomed delivery attempt.
+            timeout, horizon = 2 * base_timeout, 1
+            for _ in range(max_retries + 1):
+                horizon += timeout
+                timeout = min(8 * base_timeout, timeout * 2)
+        assert sim.steps == horizon
         assert sender.retransmissions == max_retries
         assert [msg.tag for _dst, msg in sender.undeliverable] == [0]
         assert sender.outstanding_total == 0

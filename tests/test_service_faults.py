@@ -1,0 +1,165 @@
+"""Faults in the service loop: ``FaultPlan.shifted`` and the
+``ServiceDriver(faults=...)`` composition seam.
+
+The driver anchors a *window-relative* plan to the steps warmup actually
+consumed and attaches a seeded injector to the live simulator, so the
+steady-state SLO regime -- not the initial census -- absorbs the chaos.
+These tests pin the shift arithmetic, the end-to-end wiring (fault
+counts and transport telemetry land in the report), determinism, and the
+double-injector guard.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.adhoc import AdhocNetwork
+from repro.faults.plan import (
+    CrashSpec,
+    DelayBurst,
+    FaultInjector,
+    FaultPlan,
+    PartitionSpec,
+    RecoverySpec,
+)
+from repro.graphs.generators import random_weakly_connected
+from repro.service.driver import ServiceDriver
+from repro.service.workload import poisson_workload
+
+
+def _graph(seed=0):
+    return random_weakly_connected(24, 36, seed=seed)
+
+
+def _workload(graph, *, rate=8.0, duration=1500, seed=5):
+    return poisson_workload(graph, rate=rate, duration=duration, seed=seed)
+
+
+class TestFaultPlanShifted:
+    def test_zero_offset_is_identity(self):
+        plan = FaultPlan(loss=0.1, crashes=(CrashSpec("x", at_step=7),))
+        assert plan.shifted(0) is plan
+
+    def test_negative_offset_raises(self):
+        with pytest.raises(ValueError):
+            FaultPlan().shifted(-1)
+
+    def test_all_time_anchored_specs_shift(self):
+        plan = FaultPlan(
+            loss=0.2,
+            duplicate=0.05,
+            crashes=(CrashSpec("a", at_step=10),),
+            partitions=(PartitionSpec(frozenset({"a", "b"}), start=5, heal=40),),
+            delays=(DelayBurst(start=3, duration=9, fraction=0.5),),
+            recoveries=(RecoverySpec("c", crash_step=12, recover_step=80),),
+        )
+        shifted = plan.shifted(100)
+        # Rate faults are time-free and carry over unchanged.
+        assert shifted.loss == plan.loss
+        assert shifted.duplicate == plan.duplicate
+        assert shifted.crashes == (CrashSpec("a", at_step=110),)
+        assert shifted.partitions == (
+            PartitionSpec(frozenset({"a", "b"}), start=105, heal=140),
+        )
+        assert shifted.delays == (DelayBurst(start=103, duration=9, fraction=0.5),)
+        assert shifted.recoveries == (
+            RecoverySpec("c", crash_step=112, recover_step=180),
+        )
+
+    def test_shift_composes(self):
+        plan = FaultPlan(crashes=(CrashSpec("a", at_step=1),))
+        assert plan.shifted(10).shifted(20) == plan.shifted(30)
+
+    def test_shifted_plan_is_a_new_immutable_plan(self):
+        plan = FaultPlan(delays=(DelayBurst(start=0, duration=4),))
+        shifted = plan.shifted(8)
+        assert shifted is not plan
+        assert dataclasses.is_dataclass(shifted)
+        assert plan.delays[0].start == 0  # original untouched
+
+
+class TestServiceDriverFaults:
+    def _run(self, *, faults=None, fault_seed=0, reliable=False, seed=5):
+        graph = _graph()
+        net = AdhocNetwork(graph, seed=0, reliable=reliable)
+        driver = ServiceDriver(
+            net, _workload(graph, seed=seed), faults=faults, fault_seed=fault_seed
+        )
+        return driver.run()
+
+    def test_fault_free_run_has_empty_fault_counts(self):
+        report = self._run()
+        assert report.fault_counts == {}
+        assert report.transport_totals == {}
+
+    def test_loss_plan_on_reliable_network_degrades_but_serves(self):
+        report = self._run(faults=FaultPlan(loss=0.15), reliable=True)
+        # The injector really fired during the window...
+        assert report.fault_counts.get("loss", 0) > 0
+        # ...the transport repaired it (telemetry aggregated into the report)...
+        assert report.transport_totals["retransmissions"] > 0
+        assert report.transport_totals["undeliverable"] == 0
+        # ...and the service still completed its whole schedule.
+        assert not report.budget_exhausted
+        assert report.incomplete_probes == 0
+        for probe in report.completed_probes:
+            assert probe.latency >= 0
+
+    def test_crash_plan_is_window_relative(self):
+        # at_step=0 in window-relative time: the victim crashes the moment
+        # the measurement window opens, i.e. *after* warmup converged.
+        victim = sorted(_graph().nodes)[0]
+        report = self._run(
+            faults=FaultPlan(loss=0.1, crashes=(CrashSpec(victim, at_step=0),)),
+            reliable=True,
+        )
+        assert report.warmup_steps > 0  # warmup ran clean before the injector
+        assert report.fault_counts.get("loss", 0) > 0
+        # The run terminates even with probes addressed to a dead node:
+        # they are deferred and eventually dropped, never hung.
+        assert not report.budget_exhausted
+
+    def test_same_fault_seed_is_replayable(self):
+        def once():
+            report = self._run(faults=FaultPlan(loss=0.2), reliable=True, fault_seed=3)
+            return (
+                report.fault_counts,
+                report.transport_totals,
+                [(p.at, p.target, p.completed_at) for p in report.probes],
+                report.service_messages,
+                report.clock,
+            )
+
+        assert once() == once()
+
+    def test_different_fault_seed_changes_the_execution(self):
+        runs = {
+            self._run(
+                faults=FaultPlan(loss=0.2), reliable=True, fault_seed=fault_seed
+            ).fault_counts.get("loss", 0)
+            for fault_seed in range(4)
+        }
+        assert len(runs) > 1
+
+    def test_double_injector_is_rejected(self):
+        graph = _graph()
+        net = AdhocNetwork(
+            graph,
+            seed=0,
+            reliable=True,
+            faults=FaultInjector(FaultPlan(loss=0.1), seed=0),
+        )
+        with pytest.raises(ValueError, match="already has a fault injector"):
+            ServiceDriver(net, _workload(graph), faults=FaultPlan(loss=0.1))
+
+    def test_transport_totals_present_without_faults(self):
+        # A reliable network reports transport telemetry even fault-free
+        # (acks are real traffic the SLO accounting must see).
+        report = self._run(reliable=True)
+        assert report.transport_totals["undeliverable"] == 0
+        assert (
+            report.transport_totals["acks_piggybacked"]
+            + report.transport_totals["acks_delayed"]
+            + report.transport_totals["acks_immediate"]
+            > 0
+        )
