@@ -21,6 +21,15 @@ root.  Two parts:
   scaling series up to n = 100,000 for the Generic and Ad-hoc engines on
   the fast path, replacing the ``scaling`` block of ``BENCH_core.json``.
   Takes ~2 minutes and >1 GB RSS at the top size, hence opt-in.
+
+* ``test_core_million`` (opt-in: ``BENCH_CORE_MILLION=1``) -- one
+  n = 10^6 discovery per engine through the object-free
+  :func:`repro.core.arraystate.run_graph` driver with full invariant
+  verification, replacing the ``million`` block of ``BENCH_core.json``.
+  The object paths cannot represent this size (a million node objects
+  cost ~4 GB before the first message); the columnar driver is the only
+  engine in the run, so the block records absolute throughput, not a
+  ratio.  Takes ~10 minutes and several GB RSS, hence opt-in.
 """
 
 import datetime
@@ -50,6 +59,8 @@ SCALING_NS = {
     "adhoc": (1024, 10_000, 100_000),
 }
 FULL = os.environ.get("BENCH_CORE_FULL", "") == "1"
+N_MILLION = 1_000_000
+MILLION = os.environ.get("BENCH_CORE_MILLION", "") == "1"
 
 
 def _run_workload(n, seeds, fast, variant="generic"):
@@ -226,5 +237,65 @@ def test_core_scaling_series(benchmark, record_table):
         "date": datetime.date.today().isoformat(),
         "family": FAMILY,
         "series": series,
+    }
+    BENCH_PATH.write_text(json.dumps(data, indent=1) + "\n")
+
+
+@pytest.mark.skipif(
+    not MILLION, reason="set BENCH_CORE_MILLION=1 for the n=10^6 run"
+)
+def test_core_million(benchmark, record_table):
+    from repro.core.arraystate import run_graph
+
+    def run():
+        runs = []
+        for variant in ("generic", "adhoc"):
+            start = time.perf_counter()
+            graph = build_family(FAMILY, N_MILLION, seed=0)
+            built = time.perf_counter()
+            result = run_graph(graph, variant, verify=True)
+            wall = time.perf_counter() - built
+            assert result.verified, f"{variant}: invariant verification failed"
+            assert result.n == N_MILLION
+            runs.append(
+                {
+                    "engine": variant,
+                    "n": N_MILLION,
+                    "graph_s": round(built - start, 3),
+                    "run_s": round(wall, 3),
+                    "steps": result.steps,
+                    "messages": result.total_messages,
+                    "leaders": len(result.leaders),
+                    "steps_per_s": int(result.steps / wall),
+                    "verified": result.verified,
+                }
+            )
+            del graph, result  # ~GBs each; free before the next engine
+        return runs
+
+    runs = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    record_table(
+        "BENCH-core-million",
+        ["engine", "n", "graph-s", "run-s", "steps", "messages", "steps/s"],
+        [
+            [p["engine"], p["n"], p["graph_s"], p["run_s"], p["steps"],
+             p["messages"], p["steps_per_s"]]
+            for p in runs
+        ],
+        notes=(
+            f"run_graph on {FAMILY}, seed 0, global-FIFO, single run per "
+            "engine (run_s covers columnar build + run loop + O(n+E) "
+            "invariant verification). Criterion: both engines complete "
+            "n=10^6 verified within the step budget; wall-clock "
+            "informative."
+        ),
+    )
+
+    data = _load_bench()
+    data["million"] = {
+        "date": datetime.date.today().isoformat(),
+        "family": FAMILY,
+        "runs": runs,
     }
     BENCH_PATH.write_text(json.dumps(data, indent=1) + "\n")

@@ -7,8 +7,16 @@ are bitwise identical (the engine's determinism guarantee, checked with
 zero tolerance), and appends both wall-clocks to ``BENCH_parallel.json``
 at the repository root: the first entry in the repo's perf trajectory.
 
-No speedup is *asserted*: CI boxes may have a single core, where the pool
-is pure overhead.  The JSON records whatever the hardware gave us.
+The speedup gate is **keyed off the recorded ``cpus`` field**: committed
+baseline entries only constrain runs on matching hardware.  A multi-core
+box must stay within ``REGRESSION_FLOOR`` of the best committed multi-core
+speedup; a single-core box -- where the worker pool is pure contention and
+the committed baseline records a known 0.84x -- is instead held to the
+serial-fallback bound (overhead no worse than ``REGRESSION_FLOOR`` of the
+committed single-core ratio).  Entries written before the ``cpus`` field
+existed are ignored by the gate: hardware-unlabelled numbers are not a
+comparable signal, which is exactly the bug this keying fixes (a 1-CPU
+runner being judged against an implicit multi-core expectation).
 """
 
 import datetime
@@ -30,6 +38,26 @@ KWARGS = {"ns": (64, 128, 256)}
 # entry) rather than degenerating to one future per job.
 SEEDS = range(12)
 WORKERS = 4
+#: Measured speedup must stay above this fraction of the committed
+#: baseline *for the same cpu class* (multi-core vs single-core).
+REGRESSION_FLOOR = 0.75
+
+
+def _baseline_speedup(entries, multicore):
+    """Latest committed speedup for this cpu class, or ``None``.
+
+    Only entries that recorded ``cpus`` participate: an unlabelled entry
+    could come from either hardware class, and judging a 1-CPU runner
+    against a multi-core number (or vice versa) is a bogus signal.
+    """
+    baseline = None
+    for entry in entries:
+        cpus = entry.get("cpus")
+        if cpus is None:
+            continue
+        if (cpus >= 2) == multicore and "speedup" in entry:
+            baseline = entry["speedup"]
+    return baseline
 
 
 def _timed_sweep(workers: int):
@@ -86,5 +114,19 @@ def test_parallel_speedup(benchmark, record_table):
             entries = json.loads(BENCH_PATH.read_text()).get("entries", [])
         except (ValueError, AttributeError):
             entries = []
+
+    # -- the cpus-keyed regression gate ---------------------------------
+    multicore = (os.cpu_count() or 1) >= 2
+    baseline = _baseline_speedup(entries, multicore)
+    speedup = entry["speedup"]
+    if baseline is not None:
+        label = "multi-core" if multicore else "single-core serial-fallback"
+        assert speedup >= REGRESSION_FLOOR * baseline, (
+            f"{label} speedup regressed: measured {speedup}x vs committed "
+            f"{baseline}x baseline (floor {REGRESSION_FLOOR})"
+        )
+    # With no committed baseline for this cpu class the run is
+    # informative only: it *creates* the baseline for the next run.
+
     entries.append(entry)
     BENCH_PATH.write_text(json.dumps({"entries": entries}, indent=1) + "\n")

@@ -53,6 +53,9 @@ __all__ = [
     "ProbeReply",
     "MERGE",
     "ABORT",
+    "MSG_TYPES",
+    "WIRE_TYPES",
+    "fixed_bit_bases",
 ]
 
 #: Release verdicts (the ``answer`` field of Figures 4-6).
@@ -245,3 +248,80 @@ class ProbeReply:
     def bit_size(self, id_bits: int) -> int:
         # bits_for_ids(2 + len(ids), id_bits), inlined.
         return HEADER_BITS + (2 + len(self.ids)) * (id_bits if id_bits > 1 else 1)
+
+
+# ----------------------------------------------------------------------
+# Wire-tag registry for the array-backed core (repro.core.arraystate)
+# ----------------------------------------------------------------------
+# The array core replaces per-send frozen-dataclass allocation with plain
+# tuples ``(tag, field, field, ...)`` whose first element is a dense int
+# tag.  The registry below is the single source of truth tying tags,
+# classes and msg_type strings together; the tag order is frozen (stats
+# folding and the fixed-bit table index by it).
+
+#: Dataclass per wire tag, in tag order.
+WIRE_TYPES = (
+    Query,
+    QueryReply,
+    Search,
+    Release,
+    MergeAccept,
+    MergeFail,
+    Info,
+    Conquer,
+    MoreDone,
+    Probe,
+    ProbeReply,
+)
+
+#: ``msg_type`` string per wire tag, in tag order.
+MSG_TYPES = tuple(cls.msg_type for cls in WIRE_TYPES)
+
+(
+    T_QUERY,
+    T_QUERY_REPLY,
+    T_SEARCH,
+    T_RELEASE,
+    T_MERGE_ACCEPT,
+    T_MERGE_FAIL,
+    T_INFO,
+    T_CONQUER,
+    T_MORE_DONE,
+    T_PROBE,
+    T_PROBE_REPLY,
+) = range(len(WIRE_TYPES))
+
+
+def fixed_bit_bases(id_bits: int) -> "tuple[int, ...]":
+    """Per-tag fixed bit cost, mirroring each class's ``bit_size``.
+
+    The variable-size types (query-reply, info, probe-reply) additionally
+    pay ``len(ids) * max(1, id_bits)`` per carried id; everything else is
+    covered entirely by its base.  Kept next to the registry so a new
+    message type cannot add a ``bit_size`` without the array core noticing
+    (the equivalence suite compares folded bit totals exactly).
+    """
+    b = id_bits if id_bits > 1 else 1
+    h = HEADER_BITS
+    return (
+        h + b,  # query: k counter
+        h + 1,  # query-reply: done_flag (+ len(ids) * b variable)
+        h + 3 * b + 1,  # search: initiator, phase, target, new flag
+        h + 3 * b + 1,  # release: leader, initiator, phase, answer flag
+        h,  # merge-accept
+        h,  # merge-fail
+        h + b,  # info: phase (+ total set sizes * b variable)
+        h + 2 * b,  # conquer: leader, phase
+        h + 1,  # more-done: has_more flag
+        h + b,  # probe: initiator
+        h + 2 * b,  # probe-reply: leader, initiator (+ len(ids) * b variable)
+    )
+
+
+#: Preallocated flyweight wire tuples for the payload-free messages -- the
+#: array-core analogue of the shared ``_MERGE_ACCEPT``/``_MERGE_FAIL``
+#: dataclass singletons in :mod:`repro.core.node`.
+WIRE_MERGE_ACCEPT = (T_MERGE_ACCEPT,)
+WIRE_MERGE_FAIL = (T_MERGE_FAIL,)
+WIRE_MORE_DONE_TRUE = (T_MORE_DONE, True)
+WIRE_MORE_DONE_FALSE = (T_MORE_DONE, False)

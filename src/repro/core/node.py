@@ -57,9 +57,34 @@ from repro.sim.network import SimNode, SimulationError
 
 NodeId = Hashable
 
-__all__ = ["DiscoveryNode", "ProtocolError", "VARIANTS", "LEADER_STATES"]
+__all__ = [
+    "DiscoveryNode",
+    "ProtocolError",
+    "VARIANTS",
+    "LEADER_STATES",
+    "STATUS_NAMES",
+    "STATUS_CODES",
+    "behavior_is_pristine",
+]
 
 VARIANTS = ("generic", "bounded", "adhoc")
+
+#: Status strings in dense-code order.  The array-backed core
+#: (:mod:`repro.core.arraystate`) stores node status as a byte indexing
+#: this tuple; :data:`STATUS_CODES` is the inverse used when interning a
+#: live object-path node.  Order is frozen -- the codes are part of the
+#: array core's materialization contract.
+STATUS_NAMES = (
+    "asleep",
+    "explore",
+    "wait",
+    "conquered",
+    "conqueror",
+    "passive",
+    "inactive",
+    "terminated",
+)
+STATUS_CODES = {name: code for code, name in enumerate(STATUS_NAMES)}
 
 #: Paper definition: "we call a node leader if its state is not conquered
 #: or inactive or passive".  ``terminated`` is the Bounded variant's final
@@ -715,7 +740,7 @@ class DiscoveryNode(SimNode):
             ):
                 self._add_unexplored(u)
         cluster = len(self.more) + len(self.done) + len(self.unaware)
-        if self.phase == info.phase or cluster >= 2 ** (self.phase + 1):
+        if self.phase == info.phase or cluster >= 1 << (self.phase + 1):
             self.phase += 1
         for w in sorted(self.unaware, key=repr):
             self.send(w, Conquer(self.node_id, self.phase))
@@ -737,7 +762,7 @@ class DiscoveryNode(SimNode):
             if u not in self.more and u not in self.done and u != self.node_id:
                 self._add_unexplored(u)
         cluster = len(self.more) + len(self.done)
-        if self.phase == info.phase or cluster >= 2 ** (self.phase + 1):
+        if self.phase == info.phase or cluster >= 1 << (self.phase + 1):
             self.phase += 1
         self._explore()
 
@@ -993,3 +1018,28 @@ DiscoveryNode._HANDLERS = {
     "probe": DiscoveryNode._on_probe,
     "probe-reply": DiscoveryNode._on_probe_reply,
 }
+
+#: Pristine behaviour attributes captured at class-definition time.  The
+#: array-backed core (:mod:`repro.core.arraystate`) inlines the whole state
+#: machine, so it must decline to engage whenever any behaviour-bearing
+#: class attribute has been replaced after the fact -- tests and ablation
+#: harnesses monkeypatch methods like ``_absorb_learned_id`` on the class
+#: to reproduce findings, and those patches must keep taking effect.
+#: Instance-level shadowing is checked separately per node.
+PRISTINE_BEHAVIOR = tuple(
+    (name, value)
+    for name, value in vars(DiscoveryNode).items()
+    if callable(value) or isinstance(value, property)
+) + (("_HANDLERS_ITEMS", tuple(DiscoveryNode._HANDLERS.items())),)
+
+
+def behavior_is_pristine() -> bool:
+    """Whether :class:`DiscoveryNode` still carries its original methods."""
+    d = vars(DiscoveryNode)
+    for name, value in PRISTINE_BEHAVIOR:
+        if name == "_HANDLERS_ITEMS":
+            if tuple(DiscoveryNode._HANDLERS.items()) != value:
+                return False
+        elif d.get(name) is not value:
+            return False
+    return True

@@ -17,6 +17,7 @@ __all__ = [
     "build_simulation",
     "default_step_budget",
     "id_bits_for",
+    "run_at_scale",
     "transport_tuning",
 ]
 
@@ -157,3 +158,39 @@ def build_simulation(
         for node_id in wake_order if wake_order is not None else graph.nodes:
             sim.schedule_wake(node_id)
     return sim, nodes
+
+
+def run_at_scale(
+    graph,
+    variant: str = "generic",
+    *,
+    seed=None,
+    max_steps=None,
+    greedy_queries: bool = False,
+    verify: bool = True,
+):
+    """Run discovery on ``graph`` without building node objects at all.
+
+    The million-node entry point: :func:`build_simulation` allocates a
+    :class:`DiscoveryNode` (plus heaps, sets and dicts) per node, which at
+    n = 10^6 costs gigabytes before the first message.  This delegates to
+    the array-backed core (:func:`repro.core.arraystate.run_graph`), which
+    holds the whole system in columnar arrays and returns a
+    :class:`~repro.core.arraystate.ScaleResult` summary (steps, per-type
+    stats, leaders, verification verdict).
+
+    ``seed=None`` runs the global-FIFO schedule; an int seed replays the
+    exact seeded :class:`~repro.sim.scheduler.RandomScheduler` execution
+    ``build_simulation(seed=...)`` would produce -- the differential suite
+    pins equal step counts, stats and leaders at small ``n``.
+    """
+    from repro.core.arraystate import run_graph
+
+    return run_graph(
+        graph,
+        variant,
+        seed=seed,
+        max_steps=max_steps,
+        greedy_queries=greedy_queries,
+        verify=verify,
+    )

@@ -53,6 +53,19 @@ Execution traces (``keep_trace=True``) are supported directly: the loop
 emits the same :class:`TraceEvent` objects in the same order as the legacy
 path, which is what the differential suite (``tests/test_fastcore_equivalence.py``)
 pins across schedulers, seeds and workloads.
+
+Array-core delegation
+---------------------
+When the pending pool is large relative to ``n`` (an actual discovery run,
+not a post-quiescence touch-up), :func:`run_fast` first offers the run to
+the array-backed protocol core (:mod:`repro.core.arraystate`), which
+executes the same state machine over interned int ids and columnar state
+-- no node objects, no message dataclasses, no token objects in the hot
+loop.  The array core applies its own stricter eligibility checks (stock
+``DiscoveryNode`` instances only, internable ids, wake/deliver tokens
+only) and returns ``None`` to decline, in which case the object loop below
+runs unchanged.  ``sim._last_run_path`` records which engine ran
+(``"array"``/``"fast"``/``"legacy"``) for tests and diagnostics.
 """
 
 from __future__ import annotations
@@ -135,10 +148,12 @@ def run_fast(sim, max_steps: Optional[int] = None) -> int:
     executed, exactly like the legacy loop, and raises the same
     :class:`~repro.sim.network.StepLimitExceeded` at the same step.
     """
+    from repro.core import arraystate
     from repro.sim.network import StepLimitExceeded
 
     scheduler = sim.scheduler
     mode = _STOCK_MODES[type(scheduler)]
+    randrange = None
     if mode == _FIFO:
         pool = scheduler._queue
     elif mode == _LIFO:
@@ -151,6 +166,14 @@ def run_fast(sim, max_steps: Optional[int] = None) -> int:
         # pins this).  Fall back to randrange if the internal ever moves.
         rng = scheduler._rng
         randrange = getattr(rng, "_randbelow", None) or rng.randrange
+
+    # Offer the run to the array-backed core first; ``None`` means it
+    # declined (small pool, non-stock nodes, uninternable state) and the
+    # object loop below proceeds with the simulator untouched.
+    result = arraystate.maybe_run_array(sim, max_steps, pool, mode, randrange)
+    if result is not None:
+        return result
+    sim._last_run_path = "fast"
 
     chan_queues, chan_meta, out_by_src = _channel_state(sim)
     nodes = sim.nodes
@@ -167,14 +190,21 @@ def run_fast(sim, max_steps: Optional[int] = None) -> int:
     def fast_transmit(src, dst, message):
         # Interned-channel send: one dict hit on (src already interned ->
         # small dst map), no tuple hashing, no DeliverToken allocation.
-        # Raises match Simulator.transmit exactly.
+        # Raises match Simulator.transmit exactly -- and, like it, leave
+        # channel dicts, interning maps and accounting untouched when they
+        # raise, so error-path state is identical to the legacy path (a
+        # raising send must not leak a half-created channel).
         dmap = out_by_src.get(src)
-        if dmap is None:
-            dmap = out_by_src[src] = {}
-        cid = dmap.get(dst)
+        cid = dmap.get(dst) if dmap is not None else None
+        if cid is None and dst not in nodes:
+            raise KeyError(f"message to unknown node {dst!r} from {src!r}")
+        msg_type = getattr(message, "msg_type", None)
+        if msg_type is None:
+            raise TypeError(f"message {message!r} lacks a msg_type")
+        bits = message.bit_size(id_bits)
         if cid is None:
-            if dst not in nodes:
-                raise KeyError(f"message to unknown node {dst!r} from {src!r}")
+            if dmap is None:
+                dmap = out_by_src[src] = {}
             queue = channels.get((src, dst))
             if queue is None:
                 queue = channels[(src, dst)] = deque()
@@ -182,10 +212,6 @@ def run_fast(sim, max_steps: Optional[int] = None) -> int:
             chan_queues.append(queue)
             chan_meta.append((queue, nodes[dst], src, dst))
             dmap[dst] = cid
-        msg_type = getattr(message, "msg_type", None)
-        if msg_type is None:
-            raise TypeError(f"message {message!r} lacks a msg_type")
-        bits = message.bit_size(id_bits)
         counts[msg_type] = counts.get(msg_type, 0) + 1
         bits_acc[msg_type] = bits_acc.get(msg_type, 0) + bits
         chan_queues[cid].append(message)
@@ -277,7 +303,12 @@ def run_fast(sim, max_steps: Optional[int] = None) -> int:
                 executed += 1
                 sim._execute_deliver(token)
 
-            if executed >= limit and len(pool) - sim._cancelled_timers > 0:
+            # Same source of truth as the legacy loop's boundary check:
+            # ``is_quiescent`` reads the scheduler length minus cancelled
+            # timers, so the raise/no-raise decision at exactly
+            # ``max_steps`` cannot drift between the two paths (pinned by
+            # tests/test_fastcore_regressions.py).
+            if executed >= limit and not sim.is_quiescent:
                 raise StepLimitExceeded(
                     f"no quiescence within {max_steps} steps; "
                     f"{sim.in_flight()} messages still in flight"

@@ -265,6 +265,10 @@ class Simulator:
         #: interned channel registry built lazily by the fast path:
         #: ``(chan_queues, chan_meta, out_by_src)`` -- see fastcore.
         self._fast_channels = None
+        #: which engine executed the most recent :meth:`run`:
+        #: ``"array"`` (repro.core.arraystate), ``"fast"`` (the fastcore
+        #: object loop), ``"legacy"``, or ``None`` before any run.
+        self._last_run_path: Optional[str] = None
         if duplicate_probability > 0.0:
             # The legacy knob became a fault policy in the interceptor
             # seam (finding F7); the shim keeps old call sites running but
@@ -474,6 +478,7 @@ class Simulator:
 
             if fastcore.eligible(self):
                 return fastcore.run_fast(self, max_steps)
+        self._last_run_path = "legacy"
         executed = 0
         while self.step():
             executed += 1

@@ -109,6 +109,24 @@ class MessageStats:
         for msg_type, total in bits.items():
             bbt[msg_type] = bbt.get(msg_type, 0) + total
 
+    def record_indexed(self, msg_types, counts, bits, order) -> None:
+        """Fold flat per-tag arrays from the array core into this object.
+
+        The array-backed protocol core (:mod:`repro.core.arraystate`)
+        accounts into lists indexed by wire tag -- two ``list[int]`` bumps
+        per send instead of two dict hits.  ``order`` lists the tags in
+        first-send order, so the folded dicts grow their keys in exactly
+        the sequence per-message :meth:`record` would have produced (the
+        differential suite compares the dicts, and dict order is part of
+        ``repr`` equality for human eyes even if not for ``==``).
+        """
+        mbt = self.messages_by_type
+        bbt = self.bits_by_type
+        for tag in order:
+            name = msg_types[tag]
+            mbt[name] = mbt.get(name, 0) + counts[tag]
+            bbt[name] = bbt.get(name, 0) + bits[tag]
+
     @property
     def total_messages(self) -> int:
         return sum(self.messages_by_type.values())

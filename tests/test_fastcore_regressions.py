@@ -1,0 +1,298 @@
+"""Regression tests for the fast-loop parity bugfix batch (ISSUE 9).
+
+Two historical divergence surfaces between :func:`repro.sim.fastcore.run_fast`
+and the legacy :meth:`Simulator.run` loop:
+
+* **Step-limit boundary**: the fast loop used to re-derive the quiescence
+  predicate from its local pool binding (``len(pool) - _cancelled_timers``)
+  instead of consulting :attr:`Simulator.is_quiescent` -- the single
+  definition the legacy loop reads.  For the stock schedulers the two
+  expressions are numerically equal, but the duplication meant any
+  refinement of quiescence diverged silently.
+  ``test_fast_loop_consults_is_quiescent`` fails against the pre-fix loop;
+  the matrix tests pin (raise/no-raise, ``sim.steps``, folded stats) at
+  exactly ``max_steps`` with cancelled timers still in the pool.
+
+* **``fast_transmit`` error paths**: the interned-channel send used to
+  create the ``out_by_src`` map entry, the channel deque *on the
+  simulator's ``_channels`` dict*, and the channel-id interning row before
+  validating the message, so a missing-``msg_type`` ``TypeError`` leaked a
+  half-created channel that legacy ``Simulator.transmit`` (validate first,
+  mutate last) never creates.  ``test_missing_msg_type_leaves_no_channel``
+  fails against the pre-fix loop; the rest pin the two raise sites and the
+  resumed-run behaviour against the legacy path.
+"""
+
+import pytest
+
+from repro.sim import fastcore
+from repro.sim.network import SimNode, Simulator, StepLimitExceeded
+from repro.sim.scheduler import (
+    GlobalFifoScheduler,
+    LifoScheduler,
+    RandomScheduler,
+)
+from repro.sim.trace import bits_for_ids
+
+SCHEDULERS = {
+    "fifo": GlobalFifoScheduler,
+    "lifo": LifoScheduler,
+    "random": lambda: RandomScheduler(seed=11),
+}
+
+
+class Ping:
+    msg_type = "ping"
+
+    def __init__(self, tag=0):
+        self.tag = tag
+
+    def bit_size(self, id_bits):
+        return bits_for_ids(1, id_bits)
+
+
+class Relay(SimNode):
+    """Forwards a ping around a ring ``hops`` times; optionally arms and
+    cancels timers on wake so cancelled TimerTokens sit in the pool."""
+
+    def __init__(self, node_id, peer, hops, timers=0, cancel=0):
+        super().__init__(node_id)
+        self.peer = peer
+        self.hops = hops
+        self.timers = timers
+        self.cancel = cancel
+        self.fired = 0
+        self.received = 0
+
+    def on_wake(self):
+        tokens = [
+            self.sim.schedule_timer(self.node_id, delay=1)
+            for _ in range(self.timers)
+        ]
+        for token in tokens[: self.cancel]:
+            self.sim.cancel_timer(token)
+        self.send(self.peer, Ping())
+
+    def on_message(self, sender, message):
+        self.received += 1
+        if message.tag + 1 < self.hops:
+            self.send(self.peer, Ping(message.tag + 1))
+
+    def on_timer(self, tag):
+        self.fired += 1
+
+
+def _ring(scheduler_factory, *, hops=6, timers=0, cancel=0, fast=True):
+    sim = Simulator(scheduler_factory(), fast=fast)
+    sim.add_node(Relay("a", "b", hops, timers=timers, cancel=cancel))
+    sim.add_node(Relay("b", "a", hops, timers=timers, cancel=cancel))
+    sim.schedule_wake("a")
+    sim.schedule_wake("b")
+    return sim
+
+
+def _outcome(sim, max_steps):
+    """(raised, steps, folded stats, channel keys) -- everything the
+    boundary decision can observably change."""
+    raised = False
+    try:
+        sim.run(max_steps)
+    except StepLimitExceeded:
+        raised = True
+    return (
+        raised,
+        sim.steps,
+        dict(sim.stats.messages_by_type),
+        dict(sim.stats.bits_by_type),
+        sorted(sim._channels.keys()),
+    )
+
+
+class TestStepLimitBoundary:
+    """Satellite 1: the raise/no-raise decision at exactly ``max_steps``."""
+
+    @pytest.mark.parametrize("sched", sorted(SCHEDULERS))
+    @pytest.mark.parametrize("timers,cancel", [(0, 0), (3, 3), (4, 2)])
+    def test_boundary_matrix(self, sched, timers, cancel):
+        # Total step count of the quiesced run, measured once; then sweep
+        # max_steps across the whole range including the exact boundary.
+        probe = _ring(SCHEDULERS[sched], timers=timers, cancel=cancel, fast=True)
+        probe.run()
+        total = probe.steps
+        for limit in [1, 2, total - 1, total, total + 1]:
+            if limit < 1:
+                continue
+            fast = _outcome(
+                _ring(SCHEDULERS[sched], timers=timers, cancel=cancel, fast=True),
+                limit,
+            )
+            legacy = _outcome(
+                _ring(SCHEDULERS[sched], timers=timers, cancel=cancel, fast=False),
+                limit,
+            )
+            assert fast == legacy, f"boundary divergence at max_steps={limit}"
+
+    def test_exact_limit_with_cancelled_timers_no_raise(self):
+        # Cancelled timers still in the pool after the limit-th step must
+        # not count as pending work: both paths finish without raising.
+        sim = _ring(GlobalFifoScheduler, timers=2, cancel=2, fast=True)
+        probe = _ring(GlobalFifoScheduler, timers=2, cancel=2, fast=False)
+        probe.run()
+        sim.run(probe.steps)  # exactly the boundary; raise would fail this
+        assert sim.steps == probe.steps
+        assert sim._last_run_path in ("fast", "array")
+        assert probe._last_run_path == "legacy"
+
+    def test_fast_loop_consults_is_quiescent(self):
+        # Failing-pre-fix: quiescence is one simulator-defined predicate.
+        # A subclass refining it (e.g. "external work still pending") must
+        # steer the fast loop's boundary decision exactly like the legacy
+        # loop's -- the pre-fix loop re-derived the predicate from its
+        # local pool binding and ran to completion without raising.
+        class NeverQuiescent(Simulator):
+            is_quiescent = property(lambda self: False)
+
+        def build():
+            sim = NeverQuiescent(GlobalFifoScheduler())
+            sim.add_node(Relay("a", "b", hops=4))
+            sim.add_node(Relay("b", "a", hops=4))
+            sim.schedule_wake("a")
+            sim.schedule_wake("b")
+            return sim
+
+        legacy = build()
+        legacy.run()  # drains; total steps of the workload
+        total = legacy.steps
+
+        legacy_limited = build()
+        with pytest.raises(StepLimitExceeded):
+            legacy_limited.run(total)  # run() on a subclass: legacy loop
+
+        fast_limited = build()
+        with pytest.raises(StepLimitExceeded):
+            fastcore.run_fast(fast_limited, total)
+        assert fast_limited.steps == legacy_limited.steps
+
+
+class Bogus:
+    """No ``msg_type`` attribute: transmit must reject before mutating."""
+
+    def bit_size(self, id_bits):  # pragma: no cover - never reached
+        return 1
+
+
+class ErrNode(SimNode):
+    """Sends a good ping to ``peer``, then one configurable bad send.
+
+    The bad send targets ``bad_dst`` ("c" by default -- a *known* node
+    with no pre-existing channel, so a leaked half-created channel is
+    distinguishable from the good ping's legitimate one).
+    """
+
+    def __init__(self, node_id, peer, bad_dst=None, bad_msg=None):
+        super().__init__(node_id)
+        self.peer = peer
+        self.bad_dst = bad_dst
+        self.bad_msg = bad_msg
+        self.received = 0
+
+    def on_wake(self):
+        self.send(self.peer, Ping())
+        if self.bad_dst is not None or self.bad_msg is not None:
+            self.send(
+                self.bad_dst if self.bad_dst is not None else "c",
+                self.bad_msg if self.bad_msg is not None else Ping(),
+            )
+
+    def on_message(self, sender, message):
+        self.received += 1
+
+
+def _err_sim(fast, **kwargs):
+    sim = Simulator(GlobalFifoScheduler(), fast=fast)
+    sim.add_node(ErrNode("a", "b", **kwargs))
+    sim.add_node(SilentNode("b"))
+    sim.add_node(SilentNode("c"))
+    sim.schedule_wake("a")
+    return sim
+
+
+class SilentNode(SimNode):
+    def __init__(self, node_id):
+        super().__init__(node_id)
+        self.received = 0
+
+    def on_wake(self):
+        pass
+
+    def on_message(self, sender, message):
+        self.received += 1
+
+
+def _post_raise_state(sim):
+    return (
+        sorted(sim._channels.keys()),
+        {k: len(q) for k, q in sim._channels.items()},
+        dict(sim.stats.messages_by_type),
+        dict(sim.stats.bits_by_type),
+        sim.steps,
+        len(sim.scheduler),
+    )
+
+
+class TestTransmitErrorPaths:
+    """Satellite 2: raising sends leave identical state on both paths."""
+
+    def test_unknown_destination_parity(self):
+        fast = _err_sim(True, bad_dst="ghost")
+        legacy = _err_sim(False, bad_dst="ghost")
+        with pytest.raises(KeyError, match="unknown node 'ghost'"):
+            fast.run()
+        with pytest.raises(KeyError, match="unknown node 'ghost'"):
+            legacy.run()
+        assert _post_raise_state(fast) == _post_raise_state(legacy)
+
+    def test_missing_msg_type_leaves_no_channel(self):
+        # Failing-pre-fix: the fast path created the ('a','b') channel on
+        # ``sim._channels`` (and its interning row) before discovering the
+        # message has no msg_type; legacy validates first.
+        fast = _err_sim(True, bad_msg=Bogus())
+        legacy = _err_sim(False, bad_msg=Bogus())
+        with pytest.raises(TypeError, match="lacks a msg_type"):
+            fast.run()
+        with pytest.raises(TypeError, match="lacks a msg_type"):
+            legacy.run()
+        # The good ping's ('a','b') channel is the only one allowed to
+        # exist; the raising send to 'c' must leave no trace.
+        assert ("a", "c") not in fast._channels
+        assert _post_raise_state(fast) == _post_raise_state(legacy)
+
+    def test_keyerror_precedence_over_typeerror(self):
+        # Unknown destination *and* malformed message: the destination
+        # check fires first on both paths.
+        for fast_flag in (True, False):
+            sim = _err_sim(fast_flag, bad_dst="ghost", bad_msg=Bogus())
+            with pytest.raises(KeyError, match="unknown node 'ghost'"):
+                sim.run()
+
+    @pytest.mark.parametrize("bad", ["dst", "msg"])
+    def test_resumed_run_equivalence(self, bad):
+        # After the raise, drop the faulty send and resume: both paths
+        # must drain the surviving traffic to the same final state.
+        kwargs = {"bad_dst": "ghost"} if bad == "dst" else {"bad_msg": Bogus()}
+        exc = KeyError if bad == "dst" else TypeError
+
+        def drive(fast_flag):
+            sim = _err_sim(fast_flag, **kwargs)
+            with pytest.raises(exc):
+                sim.run()
+            a = sim.nodes["a"]
+            a.bad_dst = a.bad_msg = None
+            sim.run()
+            return (
+                _post_raise_state(sim),
+                sim.nodes["b"].received,
+                sim.is_quiescent,
+            )
+
+        assert drive(True) == drive(False)
