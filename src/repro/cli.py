@@ -23,6 +23,11 @@ Commands
                   constant / bursty arrivals) and print latency
                   percentiles, throughput, reconvergence lag, and the
                   Theorem 8 amortized-cost curve
+``campaign``      crash-safe resumable experiment campaigns: a SQLite
+                  store of cells drained by lease-claiming workers
+                  (``init`` / ``run`` / ``status`` / ``resume`` /
+                  ``report``); a SIGKILLed campaign resumes with zero
+                  done cells recomputed
 
 Everything the CLI prints comes from the same experiment runners the
 benchmarks use, so numbers match ``benchmarks/results/``.
@@ -240,6 +245,20 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sweep_p.add_argument(
         "--no-progress", action="store_true", help="suppress per-job stderr lines"
+    )
+    sweep_p.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="re-run failed/timed-out jobs up to this many extra attempts "
+        "(default: 0, i.e. fail fast)",
+    )
+    sweep_p.add_argument(
+        "--backoff",
+        type=float,
+        default=0.0,
+        help="base delay in seconds before each retry round, doubled per "
+        "round (default: 0)",
     )
 
     chaos_p = sub.add_parser(
@@ -473,6 +492,10 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write the run's JSONL timeline (one service-op event per "
         "completed probe plus sampled metrics) to this path",
     )
+
+    from repro.campaign.cli import add_campaign_parser
+
+    add_campaign_parser(sub)
     return parser
 
 
@@ -657,10 +680,19 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         timeout=args.timeout,
         cache=cache,
         progress=ProgressReporter(enabled=not args.no_progress),
+        retries=args.retries,
+        backoff=args.backoff,
     )
     results = executor.run(sweep_jobs(args.exp, seeds, kwargs))
     if args.obs_out:
         _write_job_timeline(args.obs_out, args.exp, results)
+    retried = [r for r in results if r.attempts > 1]
+    if retried:
+        print(
+            f"retries: {len(retried)} job(s) took multiple attempts "
+            f"(max {max(r.attempts for r in retried)})",
+            file=sys.stderr,
+        )
     failures = [r for r in results if not r.ok]
     if failures:
         for failure in failures:
@@ -701,6 +733,7 @@ def _write_job_timeline(path: str, experiment: str, results) -> None:
                 for key, value in {
                     "status": result.status,
                     "wall_s": round(result.wall, 6) if result.wall is not None else None,
+                    "attempts": result.attempts if result.attempts > 1 else None,
                     "error": result.error,
                 }.items()
                 if value is not None
@@ -1124,6 +1157,12 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.campaign.cli import cmd_campaign
+
+    return cmd_campaign(args)
+
+
 def _cmd_families(_args: argparse.Namespace) -> int:
     for name in sorted(GRAPH_FAMILIES):
         example = build_family(name, 64, seed=0)
@@ -1145,6 +1184,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "chaos": _cmd_chaos,
         "trace": _cmd_trace,
         "serve-sim": _cmd_serve_sim,
+        "campaign": _cmd_campaign,
     }[args.command]
     return handler(args)
 

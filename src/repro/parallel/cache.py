@@ -12,11 +12,18 @@ On load, the stored job spec is compared against the requesting job's
 spec, so a truncated file, a hash collision, or a schema bump
 (:data:`~repro.parallel.jobs.CACHE_SCHEMA_VERSION`) degrades to a miss,
 never to a wrong table.
+
+The cache is an accelerator, never a prerequisite: if the cache directory
+cannot be written (read-only checkout, bad ``--cache-dir``, full disk),
+the first failed store prints one warning and disables the cache for the
+rest of the run -- the sweep itself proceeds uncached instead of dying
+with a traceback.
 """
 
 from __future__ import annotations
 
 import pathlib
+import sys
 from dataclasses import dataclass, field
 from typing import Optional, Union
 
@@ -48,6 +55,7 @@ class ResultCache:
 
     directory: PathLike = DEFAULT_CACHE_DIR
     stats: CacheStats = field(default_factory=CacheStats)
+    disabled: bool = False
 
     def __post_init__(self) -> None:
         self.directory = pathlib.Path(self.directory)
@@ -55,8 +63,19 @@ class ResultCache:
     def path_for(self, job: Job) -> pathlib.Path:
         return pathlib.Path(self.directory) / f"{job.key()}.json"
 
+    def _disable(self, exc: OSError) -> None:
+        self.disabled = True
+        print(
+            f"warning: result cache disabled: cannot write "
+            f"{self.directory} ({exc}); continuing without caching",
+            file=sys.stderr,
+        )
+
     def get(self, job: Job) -> Optional[ExperimentRecord]:
         """The stored record for ``job``, or ``None`` on any miss."""
+        if self.disabled:
+            self.stats.misses += 1
+            return None
         path = self.path_for(job)
         try:
             record = ExperimentRecord.from_json(path.read_text())
@@ -69,16 +88,27 @@ class ResultCache:
         self.stats.hits += 1
         return record
 
-    def put(self, job: Job, record: ExperimentRecord) -> pathlib.Path:
-        """Persist ``record`` under the job's content address."""
+    def put(self, job: Job, record: ExperimentRecord) -> Optional[pathlib.Path]:
+        """Persist ``record`` under the job's content address.
+
+        Returns ``None`` (and disables the cache, with one warning) when
+        the directory is unwritable -- a sweep must survive a read-only
+        cache location.
+        """
+        if self.disabled:
+            return None
         directory = pathlib.Path(self.directory)
-        directory.mkdir(parents=True, exist_ok=True)
         path = self.path_for(job)
-        # Write-then-rename so a crashed run never leaves a torn file that
-        # would be read back as a record.
-        tmp = path.with_suffix(".json.tmp")
-        tmp.write_text(record.to_json())
-        tmp.replace(path)
+        try:
+            directory.mkdir(parents=True, exist_ok=True)
+            # Write-then-rename so a crashed run never leaves a torn file
+            # that would be read back as a record.
+            tmp = path.with_suffix(".json.tmp")
+            tmp.write_text(record.to_json())
+            tmp.replace(path)
+        except OSError as exc:
+            self._disable(exc)
+            return None
         self.stats.stores += 1
         return path
 

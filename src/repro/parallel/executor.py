@@ -10,8 +10,18 @@ over a ``concurrent.futures.ProcessPoolExecutor`` (forked workers), with
   failed :class:`JobResult`\\ s, and a broken pool (a worker killed by a
   segfault or the OOM killer) degrades to in-process execution of the
   remaining jobs instead of aborting the sweep;
+* **partial-batch recovery**: workers spool each finished job result to a
+  per-batch file as they go, so when a pool breaks (or a batch times out)
+  the jobs that already succeeded are *recovered from the spool* and only
+  the genuinely unfinished tail of the batch is re-executed -- a batch is
+  never thrown away because its last job crashed the worker;
 * a **per-job timeout** that marks the job failed and reclaims the worker
   rather than hanging the sweep on one diverging simulation;
+* **per-job retry with backoff**: ``retries=N`` re-runs failed and
+  timed-out jobs up to N extra rounds, sleeping ``backoff * 2**round``
+  between rounds; every result carries its ``attempts`` count so sweeps
+  report what the retries cost.  The default ``retries=0`` is the exact
+  historical fail-fast behaviour;
 * **job batching**: when a sweep has many more jobs than workers, jobs
   are grouped into at most ``workers * batches_per_worker`` round-robin
   batches and each *batch* is one pool submission, so the per-future
@@ -32,6 +42,10 @@ over a ``concurrent.futures.ProcessPoolExecutor`` (forked workers), with
 from __future__ import annotations
 
 import multiprocessing
+import os
+import pickle
+import shutil
+import tempfile
 import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeoutError
@@ -59,7 +73,11 @@ class JobFailure(RuntimeError):
 
 @dataclass
 class JobResult:
-    """Outcome of one job: a table, or an error string."""
+    """Outcome of one job: a table, or an error string.
+
+    ``attempts`` counts executions of this job including retries; cache
+    hits keep 1 (the original computation is the attempt that counts).
+    """
 
     job: Job
     status: str
@@ -68,6 +86,7 @@ class JobResult:
     wall: Optional[float] = None
     error: Optional[str] = None
     messages: Optional[int] = None
+    attempts: int = 1
 
     @property
     def ok(self) -> bool:
@@ -81,15 +100,18 @@ class JobResult:
 
     def to_record(self) -> ExperimentRecord:
         headers, rows = self.table
+        metadata = {
+            "job": self.job.spec(),
+            "wall_s": self.wall,
+            "messages": self.messages,
+        }
+        if self.attempts > 1:
+            metadata["attempts"] = self.attempts
         return ExperimentRecord(
             name=self.job.label(),
             headers=headers,
             rows=rows,
-            metadata={
-                "job": self.job.spec(),
-                "wall_s": self.wall,
-                "messages": self.messages,
-            },
+            metadata=metadata,
         )
 
     @classmethod
@@ -149,13 +171,40 @@ def _safe_execute(job: Job) -> JobResult:
     )
 
 
-def _safe_execute_batch(batch: List[Job]) -> List[JobResult]:
+def _safe_execute_batch(batch: List[Job], spool_path: Optional[str] = None) -> List[JobResult]:
     """Run a batch of jobs in one worker invocation, preserving order.
 
     Crash isolation stays per-job (each job goes through
-    :func:`_safe_execute`), only the *submission* is batched.
+    :func:`_safe_execute`), only the *submission* is batched.  Each
+    finished result is appended to ``spool_path`` before the next job
+    starts, so if a later job kills the worker outright the parent can
+    recover the completed prefix instead of re-running it.
     """
-    return [_safe_execute(job) for job in batch]
+    results = []
+    for job in batch:
+        result = _safe_execute(job)
+        results.append(result)
+        if spool_path is not None:
+            with open(spool_path, "ab") as fh:
+                pickle.dump(result, fh)
+                fh.flush()
+    return results
+
+
+def _read_spool(spool_path: str) -> List[JobResult]:
+    """Recover the completed prefix of a batch from its spool file.
+
+    A missing file means the worker died before its first job finished; a
+    torn trailing record (killed mid-write) terminates the prefix.
+    """
+    results: List[JobResult] = []
+    try:
+        with open(spool_path, "rb") as fh:
+            while True:
+                results.append(pickle.load(fh))
+    except (OSError, EOFError, pickle.UnpicklingError, AttributeError):
+        pass
+    return results
 
 
 def _fork_available() -> bool:
@@ -176,8 +225,11 @@ class ParallelExecutor:
     ``batches_per_worker`` controls the batching granularity: pending jobs
     are split into at most ``workers * batches_per_worker`` round-robin
     batches (more batches = finer load balancing, fewer batches = less
-    per-future overhead).  ``executed`` counts jobs actually run (cache
-    hits excluded) over the executor's lifetime.
+    per-future overhead).  ``retries``/``backoff`` give every failed or
+    timed-out job up to ``retries`` extra executions with exponential
+    inter-round backoff (default 0: fail fast, the historical contract).
+    ``executed`` counts jobs actually run (cache hits excluded) over the
+    executor's lifetime, *including* retry executions.
     """
 
     workers: int = 1
@@ -185,6 +237,8 @@ class ParallelExecutor:
     batches_per_worker: int = 2
     cache: Optional[ResultCache] = None
     progress: Any = field(default_factory=NullProgress)
+    retries: int = 0
+    backoff: float = 0.0
     executed: int = 0
 
     def __post_init__(self) -> None:
@@ -194,6 +248,10 @@ class ParallelExecutor:
             raise ValueError(
                 f"batches_per_worker must be >= 1, got {self.batches_per_worker}"
             )
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries}")
+        if self.backoff < 0:
+            raise ValueError(f"backoff must be >= 0, got {self.backoff}")
 
     # ------------------------------------------------------------------
     # core
@@ -220,15 +278,36 @@ class ParallelExecutor:
             runner = self._run_pool if parallel else self._run_serial
             for index, result in runner(jobs, pending):
                 results[index] = result
-                self.executed += 1
-                if result.status == DONE and self.cache is not None:
-                    self.cache.put(result.job, result.to_record())
+                self._account(result)
                 done += 1
                 self.progress.report(result, done, len(jobs))
+
+            for retry_round in range(1, self.retries + 1):
+                retry = [
+                    index
+                    for index in pending
+                    if results[index] is not None and not results[index].ok
+                ]
+                if not retry:
+                    break
+                if self.backoff > 0:
+                    time.sleep(self.backoff * (2 ** (retry_round - 1)))
+                for index, result in runner(jobs, retry):
+                    result.attempts = results[index].attempts + 1
+                    results[index] = result
+                    self._account(result)
+                    # done is already len(jobs); re-report so the retry
+                    # outcome shows up in the progress stream.
+                    self.progress.report(result, done, len(jobs))
 
         summary = self.cache.stats.summary() if self.cache is not None else ""
         self.progress.end(summary)
         return [result for result in results if result is not None]
+
+    def _account(self, result: JobResult) -> None:
+        self.executed += 1
+        if result.status == DONE and self.cache is not None:
+            self.cache.put(result.job, result.to_record())
 
     def _run_serial(
         self, jobs: Sequence[Job], pending: Sequence[int]
@@ -248,21 +327,38 @@ class ParallelExecutor:
         # one-future-per-job submission.
         n_batches = min(len(pending), self.workers * self.batches_per_worker)
         batches = shard_seeds(pending, n_batches)
+        spool_dir = tempfile.mkdtemp(prefix="repro-sweep-spool-")
+        spools = [
+            os.path.join(spool_dir, f"batch-{batch_index}.pkl")
+            for batch_index in range(len(batches))
+        ]
         pool = ProcessPoolExecutor(
             max_workers=self.workers, mp_context=multiprocessing.get_context("fork")
         )
         timed_out = False
         try:
             futures = [
-                pool.submit(_safe_execute_batch, [jobs[index] for index in batch])
-                for batch in batches
+                pool.submit(
+                    _safe_execute_batch,
+                    [jobs[index] for index in batch],
+                    spool,
+                )
+                for batch, spool in zip(batches, spools)
             ]
             broken = False
-            for batch, future in zip(batches, futures):
+            for batch, future, spool in zip(batches, futures, spools):
                 if broken:
-                    # Pool died mid-sweep; finish the rest in-process.
-                    for index in batch:
-                        yield index, _safe_execute(jobs[index])
+                    # Pool died earlier.  This batch's future either
+                    # finished before the break (use its results), or is
+                    # dead -- recover its spooled prefix and finish the
+                    # rest in-process.
+                    try:
+                        batch_results = future.result(timeout=0)
+                    except Exception:
+                        yield from self._recover_batch(jobs, batch, spool)
+                        continue
+                    for index, result in zip(batch, batch_results):
+                        yield index, result
                     continue
                 budget = None if self.timeout is None else self.timeout * len(batch)
                 try:
@@ -270,7 +366,14 @@ class ParallelExecutor:
                 except FuturesTimeoutError:
                     timed_out = True
                     future.cancel()
-                    for index in batch:
+                    # Jobs that finished before the budget ran out are in
+                    # the spool; only the unfinished tail is charged the
+                    # timeout.
+                    recovered = _read_spool(spool)
+                    for offset, index in enumerate(batch):
+                        if offset < len(recovered):
+                            yield index, recovered[offset]
+                            continue
                         yield index, JobResult(
                             job=jobs[index],
                             status=TIMEOUT,
@@ -283,8 +386,7 @@ class ParallelExecutor:
                     continue
                 except BrokenProcessPool:
                     broken = True
-                    for index in batch:
-                        yield index, _safe_execute(jobs[index])
+                    yield from self._recover_batch(jobs, batch, spool)
                     continue
                 for index, result in zip(batch, batch_results):
                     yield index, result
@@ -299,6 +401,23 @@ class ParallelExecutor:
                     pass
             else:
                 pool.shutdown(wait=True)
+            shutil.rmtree(spool_dir, ignore_errors=True)
+
+    def _recover_batch(
+        self, jobs: Sequence[Job], batch: Sequence[int], spool: str
+    ) -> Iterator[Tuple[int, JobResult]]:
+        """Salvage a broken batch: spooled prefix as-is, rest in-process.
+
+        The worker appended each result to the spool *before* starting the
+        next job, so the spool is exactly the batch's completed prefix and
+        re-execution resumes from the first unfinished job.
+        """
+        recovered = _read_spool(spool)
+        for offset, index in enumerate(batch):
+            if offset < len(recovered):
+                yield index, recovered[offset]
+            else:
+                yield index, _safe_execute(jobs[index])
 
     # ------------------------------------------------------------------
     # conveniences

@@ -1,0 +1,121 @@
+"""Tests for incremental campaign aggregation (repro.campaign.report).
+
+The headline property: the rendered report depends only on the *set* of
+done cells -- any fold order, any interruption pattern, any batch size
+produces bitwise-identical tables, and those tables match
+``aggregate_tables`` exactly.
+"""
+
+import pytest
+
+from repro.analysis.sweep import aggregate_tables
+from repro.campaign import CampaignStore, fold_done_cells, report_tables
+from repro.campaign.store import CampaignError
+from repro.parallel import Job, ParallelExecutor, sweep_jobs
+
+TOY = "tests.test_parallel:exp_toy"
+
+
+def make_store(tmp_path, jobs, name="campaign.db"):
+    return CampaignStore.create(tmp_path / name, jobs)
+
+
+def complete_cells(store, results):
+    """Drive claimed cells to done with the given executor results."""
+    for result in results:
+        store.claim("w", 1)
+        store.complete(
+            result.job.key(),
+            {
+                "headers": result.headers,
+                "rows": result.rows,
+                "messages": result.messages,
+            },
+            wall=result.wall,
+        )
+
+
+def run_jobs(jobs):
+    return ParallelExecutor(workers=1).run(jobs)
+
+
+class TestFold:
+    def test_report_matches_aggregate_tables_exactly(self, tmp_path):
+        jobs = sweep_jobs(TOY, range(5), {"scale": 3})
+        results = run_jobs(jobs)
+        store = make_store(tmp_path, jobs)
+        complete_cells(store, results)
+        assert fold_done_cells(store) == 5
+        ((descriptor, n_cells, table),) = report_tables(store)
+        expected = aggregate_tables([r.table for r in results])
+        assert table == expected
+        assert n_cells == 5
+        assert descriptor == {"experiment": TOY, "kwargs": {"scale": 3}}
+
+    def test_fold_order_does_not_change_the_report(self, tmp_path):
+        jobs = sweep_jobs(TOY, range(6), {"scale": 7})
+        results = run_jobs(jobs)
+        forward = make_store(tmp_path, jobs, "fwd.db")
+        complete_cells(forward, results)
+        fold_done_cells(forward)
+
+        backward = make_store(tmp_path, jobs, "bwd.db")
+        complete_cells(backward, list(reversed(results)))
+        # fold in several incremental passes, interleaved with completions
+        fold_done_cells(backward, batch=2)
+        fold_done_cells(backward)
+        assert report_tables(forward) == report_tables(backward)
+
+    def test_fold_is_incremental_and_never_double_folds(self, tmp_path):
+        jobs = sweep_jobs(TOY, range(4), {"scale": 2})
+        results = run_jobs(jobs)
+        store = make_store(tmp_path, jobs)
+        complete_cells(store, results[:2])
+        assert fold_done_cells(store) == 2
+        assert fold_done_cells(store) == 0  # nothing new
+        complete_cells(store, results[2:])
+        assert fold_done_cells(store) == 2
+        ((_, n_cells, table),) = report_tables(store)
+        assert n_cells == 4
+        assert table == aggregate_tables([r.table for r in results])
+
+    def test_groups_split_by_kwargs(self, tmp_path):
+        jobs = sweep_jobs(TOY, range(2), {"scale": 2}) + sweep_jobs(
+            TOY, range(2), {"scale": 5}
+        )
+        results = run_jobs(jobs)
+        store = make_store(tmp_path, jobs)
+        complete_cells(store, results)
+        fold_done_cells(store)
+        groups = report_tables(store)
+        assert len(groups) == 2
+        assert {g[0]["kwargs"]["scale"] for g in groups} == {2, 5}
+        assert all(n == 2 for _d, n, _t in groups)
+
+    def test_identity_mismatch_rejected(self, tmp_path):
+        jobs = [Job.create(TOY, {"scale": 2}, seed=s) for s in range(2)]
+        store = make_store(tmp_path, jobs)
+        store.claim("w", 2)
+        store.complete(
+            jobs[0].key(),
+            {"headers": ["case", "n"], "rows": [["toy", 1]], "messages": None},
+        )
+        store.complete(
+            jobs[1].key(),
+            {"headers": ["case", "n"], "rows": [["OTHER", 2]], "messages": None},
+        )
+        with pytest.raises(CampaignError, match="identity"):
+            fold_done_cells(store)
+
+    def test_header_mismatch_rejected(self, tmp_path):
+        jobs = [Job.create(TOY, {"scale": 2}, seed=s) for s in range(2)]
+        store = make_store(tmp_path, jobs)
+        store.claim("w", 2)
+        store.complete(
+            jobs[0].key(), {"headers": ["a"], "rows": [[1]], "messages": None}
+        )
+        store.complete(
+            jobs[1].key(), {"headers": ["b"], "rows": [[1]], "messages": None}
+        )
+        with pytest.raises(CampaignError, match="headers"):
+            fold_done_cells(store)

@@ -1,0 +1,164 @@
+"""Tests for the campaign worker loop (repro.campaign.runner)."""
+
+import pytest
+
+from repro.campaign import CampaignRunner, CampaignStore
+from repro.parallel import Job, sweep_jobs
+
+TOY = "tests.test_parallel:exp_toy"
+FLAKY = "tests.test_parallel:exp_flaky"
+FLAKY_ONCE = "tests.test_parallel:exp_flaky_once"
+
+
+def make_store(tmp_path, jobs, **kwargs):
+    kwargs.setdefault("backoff", 0.0)
+    return CampaignStore.create(tmp_path / "campaign.db", jobs, **kwargs)
+
+
+class TestDrain:
+    def test_drains_serial(self, tmp_path):
+        jobs = sweep_jobs(TOY, range(5), {"scale": 2})
+        store = make_store(tmp_path, jobs)
+        report = CampaignRunner(store, handle_signals=False).run()
+        assert report.computed == 5
+        assert report.stored == 5
+        assert report.redundant == 0
+        assert report.drained
+        assert store.counts()["done"] == 5
+        assert store.compute_stats() == {"computed": 5, "redundant": 0}
+
+    def test_drains_with_pool_workers(self, tmp_path):
+        jobs = sweep_jobs(TOY, range(8), {"scale": 3})
+        store = make_store(tmp_path, jobs)
+        report = CampaignRunner(store, workers=2, handle_signals=False).run()
+        assert report.stored == 8
+        assert report.drained
+        for job in jobs:
+            cell = store.cell(job.key())
+            assert cell.result["rows"] == [["toy", 3, (job.seed + 1) * 3]]
+
+    def test_max_cells_interrupts_gracefully(self, tmp_path):
+        jobs = sweep_jobs(TOY, range(6), {"scale": 2})
+        store = make_store(tmp_path, jobs)
+        first = CampaignRunner(
+            store, chunk=2, max_cells=4, handle_signals=False
+        ).run()
+        assert first.computed == 4
+        assert not first.drained
+        assert store.counts()["claimed"] == 0  # leases released on exit
+        # a second runner finishes the job with zero recomputes
+        second = CampaignRunner(store, handle_signals=False).run()
+        assert second.computed == 2
+        assert second.drained
+        assert store.compute_stats() == {"computed": 6, "redundant": 0}
+
+    def test_request_stop_checkpoints(self, tmp_path):
+        jobs = sweep_jobs(TOY, range(4), {"scale": 2})
+        store = make_store(tmp_path, jobs)
+        runner = CampaignRunner(store, chunk=2, handle_signals=False)
+        runner.request_stop()
+        report = runner.run()
+        assert report.interrupted
+        assert report.computed == 0
+        assert store.counts()["pending"] == 4
+
+
+class TestFailureHandling:
+    def test_deterministic_failure_goes_permanent(self, tmp_path):
+        # exp_flaky raises the same error every time for seed 1.
+        jobs = sweep_jobs(FLAKY, range(3))
+        store = make_store(tmp_path, jobs)
+        report = CampaignRunner(store, handle_signals=False).run()
+        counts = store.counts()
+        assert counts["done"] == 2
+        assert counts["failed"] == 1
+        assert report.failed_permanent == 1
+        assert report.retried >= 1  # the first occurrence retried
+        assert not report.drained
+        failed = store.cell(jobs[1].key())
+        assert failed.attempts == 2  # first try + reproduce-check, no more
+        assert "boom" in failed.error
+
+    def test_transient_failure_recovers_on_retry(self, tmp_path):
+        jobs = sweep_jobs(FLAKY_ONCE, range(3), {"flag_dir": str(tmp_path / "f")})
+        store = make_store(tmp_path, jobs)
+        report = CampaignRunner(store, handle_signals=False).run()
+        assert report.drained
+        assert store.counts()["done"] == 3
+        for job in jobs:
+            cell = store.cell(job.key())
+            assert cell.attempts == 1  # one *failed* attempt, then done
+            assert cell.compute_count == 2
+
+    def test_attempt_cap_is_enforced(self, tmp_path):
+        jobs = [Job.create(FLAKY, {}, seed=1)]
+        store = make_store(tmp_path, jobs, max_attempts=2)
+        CampaignRunner(store, handle_signals=False).run()
+        cell = store.cell(jobs[0].key())
+        assert cell.status == "failed"
+        assert cell.attempts == 2
+
+    def test_timeout_is_transient(self, tmp_path):
+        sleepy = "tests.test_parallel:exp_sleepy"
+        jobs = [Job.create(sleepy, {"duration": 30.0}, seed=0)]
+        store = make_store(tmp_path, jobs, max_attempts=2)
+        report = CampaignRunner(
+            store, workers=2, timeout=0.3, handle_signals=False
+        ).run()
+        cell = store.cell(jobs[0].key())
+        assert cell.status == "failed"  # capped after 2 transient attempts
+        assert cell.attempts == 2
+        assert report.failed_permanent == 1
+
+
+class TestWaiting:
+    def test_waits_out_anothers_lease_then_takes_over(self, tmp_path):
+        """A second worker must not spin or exit while a dead worker's
+        lease is live: it waits, takes over, and finishes the campaign."""
+        jobs = sweep_jobs(TOY, range(3), {"scale": 2})
+        store = make_store(tmp_path, jobs, lease=0.4)
+        # "dead" worker claims one cell and never comes back
+        other = CampaignStore.open(tmp_path / "campaign.db")
+        other.claim("dead-worker", 1)
+
+        slept = []
+        runner = CampaignRunner(
+            store,
+            handle_signals=False,
+            sleep=lambda s: slept.append(s) or __import__("time").sleep(s),
+            max_wait=0.1,
+        )
+        report = runner.run()
+        assert report.drained
+        assert report.computed == 3
+        assert slept  # it actually waited for the lease to expire
+        assert report.waited_s > 0
+        assert store.compute_stats() == {"computed": 3, "redundant": 0}
+        other.close()
+
+
+class TestSignals:
+    def test_signal_handlers_only_on_main_thread(self, tmp_path):
+        import threading
+
+        jobs = sweep_jobs(TOY, range(2), {"scale": 2})
+        store_path = tmp_path / "campaign.db"
+        make_store(tmp_path, jobs).close()
+        failures = []
+
+        def work():
+            # SQLite connections are thread-bound: open inside the thread.
+            store = CampaignStore.open(store_path)
+            try:
+                report = CampaignRunner(store, handle_signals=True).run()
+                if not report.drained:
+                    failures.append("did not drain")
+            except Exception as exc:  # signal.signal off-main raises
+                failures.append(repr(exc))
+            finally:
+                store.close()
+
+        thread = threading.Thread(target=work)
+        thread.start()
+        thread.join(timeout=60)
+        assert failures == []

@@ -150,6 +150,46 @@ class TestSweep:
         with pytest.raises(SystemExit):
             main(["sweep", "--exp", "nope", "--seeds", "0:2"])
 
+    def test_sweep_unwritable_cache_dir_degrades_to_cache_off(
+        self, capsys, tmp_path
+    ):
+        """A bad --cache-dir must not kill the sweep: warn once, run
+        uncached, exit 0."""
+        blocker = tmp_path / "cache-location"
+        blocker.write_text("a file squatting on the cache path")
+        assert (
+            main(
+                [
+                    "sweep", "--exp", "strongly-connected", "--seeds", "0:2",
+                    "--quick", "--cache-dir", str(blocker), "--no-progress",
+                ]
+            )
+            == 0
+        )
+        captured = capsys.readouterr()
+        assert "=== strongly-connected x 2 seeds ===" in captured.out
+        assert "cache disabled" in captured.err
+
+    def test_sweep_retries_recover_and_report(self, capsys, tmp_path, monkeypatch):
+        """--retries re-runs failed jobs and the summary mentions it."""
+        import functools
+
+        from repro.analysis.experiments import SWEEPABLE_EXPERIMENTS
+        from tests.test_parallel import exp_flaky_once
+
+        monkeypatch.setitem(
+            SWEEPABLE_EXPERIMENTS,
+            "flaky-once",
+            functools.partial(exp_flaky_once, flag_dir=str(tmp_path)),
+        )
+        argv = [
+            "sweep", "--exp", "flaky-once", "--seeds", "0:2", "--no-cache",
+            "--no-progress", "--retries", "1",
+        ]
+        assert main(argv) == 0
+        err = capsys.readouterr().err
+        assert "retries: 2 job(s) took multiple attempts (max 2)" in err
+
 
 class TestServeSim:
     ARGS = [

@@ -6,6 +6,8 @@ and full cache service of a repeated sweep.
 """
 
 import io
+import os
+import pathlib
 import time
 
 import pytest
@@ -44,9 +46,41 @@ def exp_sleepy(duration=3.0, seed=0):
     return ["case", "messages"], [["slept", seed]]
 
 
+def exp_counted(counter_dir="", seed=0):
+    """Drops one marker file per execution, so tests can count runs."""
+    path = pathlib.Path(counter_dir)
+    path.mkdir(parents=True, exist_ok=True)
+    (path / f"seed{seed}-{os.getpid()}-{time.monotonic_ns()}").touch()
+    return ["case", "messages"], [["counted", seed * 10]]
+
+
+def exp_killer(marker="", seed=0):
+    """SIGKILLs its own worker process -- but only once per marker file,
+    so the in-parent recovery re-run completes normally."""
+    path = pathlib.Path(marker)
+    if not path.exists():
+        path.touch()
+        os.kill(os.getpid(), 9)
+    return ["case", "messages"], [["survived", seed]]
+
+
+def exp_flaky_once(flag_dir="", seed=0):
+    """Fails the first execution of each seed, succeeds after."""
+    path = pathlib.Path(flag_dir)
+    path.mkdir(parents=True, exist_ok=True)
+    flag = path / f"seed{seed}"
+    if not flag.exists():
+        flag.touch()
+        raise RuntimeError(f"transient glitch for seed {seed}")
+    return ["case", "messages"], [["recovered", seed * 10]]
+
+
 TOY = f"{__name__}:exp_toy"
 FLAKY = f"{__name__}:exp_flaky"
 SLEEPY = f"{__name__}:exp_sleepy"
+COUNTED = f"{__name__}:exp_counted"
+KILLER = f"{__name__}:exp_killer"
+FLAKY_ONCE = f"{__name__}:exp_flaky_once"
 
 
 class TestJobSpec:
@@ -272,6 +306,154 @@ class TestSweepIntegration:
         assert headers == ["case", "n", "messages"]
         # seeds 0..2 -> messages 2, 4, 6 -> mean 4 [2, 6]
         assert rows == [["toy", 2, "4 [2, 6]"]]
+
+
+class TestRetries:
+    def test_no_retries_by_default(self, tmp_path):
+        executor = ParallelExecutor(workers=1)
+        results = executor.run(
+            sweep_jobs(FLAKY_ONCE, range(3), {"flag_dir": str(tmp_path)})
+        )
+        assert [r.status for r in results] == ["failed"] * 3
+        assert all(r.attempts == 1 for r in results)
+
+    def test_retry_recovers_transient_failures(self, tmp_path):
+        executor = ParallelExecutor(workers=1, retries=1)
+        results = executor.run(
+            sweep_jobs(FLAKY_ONCE, range(3), {"flag_dir": str(tmp_path)})
+        )
+        assert [r.status for r in results] == ["done"] * 3
+        assert [r.attempts for r in results] == [2, 2, 2]
+        # every attempt counts as an execution
+        assert executor.executed == 6
+
+    def test_retry_recovers_in_parallel_mode(self, tmp_path):
+        executor = ParallelExecutor(workers=2, retries=1)
+        results = executor.run(
+            sweep_jobs(FLAKY_ONCE, range(4), {"flag_dir": str(tmp_path)})
+        )
+        assert [r.status for r in results] == ["done"] * 4
+        assert all(r.attempts == 2 for r in results)
+
+    def test_only_failed_jobs_are_retried(self, tmp_path):
+        executor = ParallelExecutor(workers=1, retries=1)
+        jobs = [
+            Job.create(TOY, {"scale": 2}, seed=0),
+            Job.create(FLAKY_ONCE, {"flag_dir": str(tmp_path)}, seed=1),
+        ]
+        results = executor.run(jobs)
+        assert [r.status for r in results] == ["done", "done"]
+        assert [r.attempts for r in results] == [1, 2]
+        assert executor.executed == 3
+
+    def test_retry_gives_up_after_budget(self):
+        executor = ParallelExecutor(workers=1, retries=2)
+        (result,) = executor.run([Job.create(FLAKY, {}, seed=1)])
+        assert result.status == "failed"
+        assert result.attempts == 3
+        assert executor.executed == 3
+
+    def test_retried_success_is_cached(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        executor = ParallelExecutor(workers=1, retries=1, cache=cache)
+        executor.run(
+            sweep_jobs(FLAKY_ONCE, range(2), {"flag_dir": str(tmp_path / "flags")})
+        )
+        assert cache.stats.stores == 2
+        # A repeat sweep is served fully from cache, no re-execution.
+        executor2 = ParallelExecutor(workers=1, retries=1, cache=cache)
+        results = executor2.run(
+            sweep_jobs(FLAKY_ONCE, range(2), {"flag_dir": str(tmp_path / "flags")})
+        )
+        assert [r.status for r in results] == ["cached", "cached"]
+        assert executor2.executed == 0
+
+    def test_attempts_recorded_in_metadata(self, tmp_path):
+        executor = ParallelExecutor(workers=1, retries=1)
+        (result,) = executor.run(
+            [Job.create(FLAKY_ONCE, {"flag_dir": str(tmp_path)}, seed=0)]
+        )
+        assert result.to_record().metadata["attempts"] == 2
+
+    def test_invalid_retry_params(self):
+        with pytest.raises(ValueError):
+            ParallelExecutor(retries=-1)
+        with pytest.raises(ValueError):
+            ParallelExecutor(backoff=-0.5)
+
+
+class TestBrokenPoolRecovery:
+    def test_completed_prefix_of_broken_batch_not_recomputed(self, tmp_path):
+        """Regression: a worker crash used to re-run its *whole* batch
+        serially, recomputing jobs that had already finished.  The spool
+        makes recovery resume from the first unfinished job."""
+        counter = tmp_path / "counts"
+        # workers=2, batches_per_worker=1, 3 jobs -> round-robin batches
+        # [[job0, job2], [job1]]: job0 completes, then job2 kills the pool.
+        jobs = [
+            Job.create(COUNTED, {"counter_dir": str(counter)}, seed=0),
+            Job.create(TOY, {"scale": 2}, seed=1),
+            Job.create(KILLER, {"marker": str(tmp_path / "marker")}, seed=2),
+        ]
+        executor = ParallelExecutor(workers=2, batches_per_worker=1)
+        results = executor.run(jobs)
+        assert [r.status for r in results] == ["done", "done", "done"]
+        # job0's result came from the spool: executed exactly once.
+        assert len(list(counter.iterdir())) == 1
+        # job2 was re-run in-process after killing its worker.
+        assert results[2].rows == [["survived", 2]]
+
+    def test_batch_after_break_recovers_or_reuses(self, tmp_path):
+        """Batches queued behind the poisoned one still produce correct
+        results (finished futures are reused, dead ones recovered)."""
+        jobs = [Job.create(KILLER, {"marker": str(tmp_path / "marker")}, seed=0)]
+        jobs += sweep_jobs(TOY, range(1, 6), {"scale": 3})
+        executor = ParallelExecutor(workers=2, batches_per_worker=1)
+        results = executor.run(jobs)
+        assert [r.status for r in results] == ["done"] * 6
+        assert [r.table[1][0][2] for r in results[1:]] == [6, 9, 12, 15, 18]
+
+    def test_timeout_salvages_finished_batch_mates(self, tmp_path):
+        """A batch timeout only charges the jobs that did not finish."""
+        counter = tmp_path / "counts"
+        # batches [[job0, job2], [job1]]: job0 finishes fast and spools,
+        # job2 sleeps past the pooled budget.
+        jobs = [
+            Job.create(COUNTED, {"counter_dir": str(counter)}, seed=0),
+            Job.create(TOY, {"scale": 2}, seed=1),
+            Job.create(SLEEPY, {"duration": 30.0}, seed=2),
+        ]
+        executor = ParallelExecutor(workers=2, batches_per_worker=1, timeout=0.4)
+        start = time.perf_counter()
+        results = executor.run(jobs)
+        assert time.perf_counter() - start < 10
+        assert [r.status for r in results] == ["done", "done", "timeout"]
+        assert len(list(counter.iterdir())) == 1
+
+
+class TestCacheDegradation:
+    def test_unwritable_cache_directory_disables_cache(self, tmp_path, capsys):
+        blocker = tmp_path / "not-a-dir"
+        blocker.write_text("a file where the cache directory should go")
+        cache = ResultCache(blocker)
+        job = Job.create(TOY, {"scale": 2}, seed=0)
+        record = ExperimentRecord(job.label(), ["a"], [[1]], {"job": job.spec()})
+        assert cache.put(job, record) is None
+        assert cache.disabled
+        assert cache.stats.stores == 0
+        err = capsys.readouterr().err
+        assert "cache disabled" in err
+        # Only one warning, and subsequent gets are silent misses.
+        cache.put(job, record)
+        assert cache.get(job) is None
+        assert capsys.readouterr().err == ""
+
+    def test_sweep_survives_unwritable_cache(self, tmp_path):
+        blocker = tmp_path / "not-a-dir"
+        blocker.write_text("")
+        executor = ParallelExecutor(workers=1, cache=ResultCache(blocker))
+        results = executor.run(sweep_jobs(TOY, range(3), {"scale": 2}))
+        assert [r.status for r in results] == ["done"] * 3
 
 
 class TestProgress:
